@@ -1,0 +1,106 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section and this repository's ablations, writing
+// gnuplot-style .dat files and printing ASCII plots and tables.
+//
+// Usage:
+//
+//	experiments [-seeds N] [-out DIR] [-only ID]
+//
+// IDs: fig2a fig2b fig3 fig3n20 large freq optimal table1 v1 abl-downgrade
+// abl-selection ilpwall (default: all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 10, "random instances averaged per data point")
+	out := flag.String("out", "results", "directory for .dat files (empty: skip files)")
+	only := flag.String("only", "", "run a single experiment id")
+	flag.Parse()
+
+	cfg := experiments.Config{Seeds: *seeds, BaseSeed: 1}
+
+	figures := []struct {
+		id  string
+		run func(experiments.Config) *experiments.Figure
+	}{
+		{"fig2a", experiments.Fig2a},
+		{"fig2b", experiments.Fig2b},
+		{"fig3", experiments.Fig3},
+		{"fig3n20", experiments.Fig3SmallTree},
+		{"large", experiments.LargeObjects},
+		{"freq", experiments.FrequencySweep},
+		{"abl-downgrade", experiments.AblationDowngrade},
+		{"abl-selection", experiments.AblationSelection},
+	}
+	tables := []struct {
+		id  string
+		run func(experiments.Config) *experiments.Table
+	}{
+		{"table1", func(experiments.Config) *experiments.Table { return experiments.Table1() }},
+		{"optimal", experiments.OptimalComparison},
+		{"v1", experiments.ThroughputValidation},
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	ran := 0
+	for _, f := range figures {
+		if *only != "" && *only != f.id {
+			continue
+		}
+		ran++
+		fig := f.run(cfg)
+		fmt.Println(fig.ASCII(76, 18))
+		fmt.Printf("ranking (cheapest first): %v\n\n", fig.Ranking())
+		if *out != "" {
+			path := filepath.Join(*out, fig.ID+".dat")
+			if err := os.WriteFile(path, []byte(fig.Dat()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	for _, tb := range tables {
+		if *only != "" && *only != tb.id {
+			continue
+		}
+		ran++
+		tab := tb.run(cfg)
+		fmt.Println(tab.String())
+		if *out != "" {
+			path := filepath.Join(*out, tab.ID+".txt")
+			if err := os.WriteFile(path, []byte(tab.String()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+	if *only == "" || *only == "ilpwall" {
+		ran++
+		if n, err := experiments.ILPScalingNote(); err == nil {
+			fmt.Printf("ILP wall: the full formulation exceeds the size budget from N=%d operators\n", n)
+			fmt.Println("(the paper hit the same wall: CPLEX could not open the N=30 model)")
+		} else {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", *only)
+		os.Exit(2)
+	}
+}

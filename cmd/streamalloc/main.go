@@ -1,0 +1,99 @@
+// Command streamalloc solves one instance of the constructive in-network
+// stream processing problem and reports the purchased platform.
+//
+// Usage:
+//
+//	streamalloc [-n N] [-alpha A] [-seed S] [-in FILE] [-heuristic NAME|all] [-verify]
+//
+// With -in the instance is loaded from JSON (see cmd/gentree); otherwise a
+// random instance is generated with the paper's defaults.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	streamalloc "repro"
+)
+
+func main() {
+	n := flag.Int("n", 40, "operators in the random tree")
+	alpha := flag.Float64("alpha", 0.9, "computation exponent")
+	seed := flag.Int64("seed", 1, "random seed")
+	inFile := flag.String("in", "", "load instance JSON instead of generating")
+	name := flag.String("heuristic", "all", "heuristic name or 'all'")
+	verify := flag.Bool("verify", false, "execute the best mapping on the stream engine")
+	flag.Parse()
+
+	var in *streamalloc.Instance
+	if *inFile != "" {
+		data, err := os.ReadFile(*inFile)
+		if err != nil {
+			fatal(err)
+		}
+		in = new(streamalloc.Instance)
+		if err := json.Unmarshal(data, in); err != nil {
+			fatal(err)
+		}
+	} else {
+		in = streamalloc.Generate(streamalloc.InstanceConfig{NumOps: *n, Alpha: *alpha}, *seed)
+	}
+	if err := in.Validate(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("instance: %d operators, %d leaves, %d object types, rho=%g, alpha=%g\n",
+		in.Tree.NumOps(), in.Tree.NumLeaves(), in.NumTypes, in.Rho, in.Alpha)
+	fmt.Printf("cost lower bound: $%.0f\n\n", streamalloc.LowerBound(in))
+
+	var solver streamalloc.Solver
+	solver.Options.Seed = *seed
+
+	var best *streamalloc.Result
+	if *name == "all" {
+		for _, o := range solver.SolveAll(in) {
+			if o.Err != nil {
+				fmt.Printf("%-22s FAILED: %v\n", o.Name, o.Err)
+				continue
+			}
+			fmt.Printf("%-22s $%-8.0f (%d processors)\n", o.Name, o.Result.Cost, o.Result.Procs)
+			if best == nil || o.Result.Cost < best.Cost {
+				best = o.Result
+			}
+		}
+	} else {
+		res, err := solver.Solve(in, *name)
+		if err != nil {
+			fatal(err)
+		}
+		best = res
+		fmt.Printf("%-22s $%-8.0f (%d processors)\n", res.Heuristic, res.Cost, res.Procs)
+	}
+	if best == nil {
+		fatal(fmt.Errorf("no feasible mapping found"))
+	}
+
+	fmt.Printf("\nbest mapping (%s):\n", best.Heuristic)
+	procs, ops, dl := best.Mapping.Compact()
+	cat := in.Platform.Catalog
+	for i := range procs {
+		fmt.Printf("  P%d: %.2f GHz / %.0f Gbps ($%.0f) operators=%v downloads=%v\n",
+			i, cat.CPUs[procs[i].Config.CPU].SpeedGHz, cat.NICs[procs[i].Config.NIC].Gbps,
+			cat.Cost(procs[i].Config), ops[i], dl[i])
+	}
+
+	if *verify {
+		rep, err := streamalloc.Verify(best, streamalloc.SimOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nstream engine: measured %.2f results/s (target %.2f, analytic max %.2f)\n",
+			rep.Throughput, in.Rho, rep.Analytic)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "streamalloc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Multi-query provisioning: demonstrates the paper's two future-work
+// directions, implemented in internal/multiapp and internal/rewrite.
+//
+// Scenario: an operator runs three continuous queries over the same data
+// catalog — a dashboard (1 result/s), an alerting query (4/s) and a
+// nightly digest (0.1/s). We compare buying one platform per query with
+// co-allocating all three on a shared platform, then let the rewriter
+// reshape the alerting query's join chain (its operators are associative
+// and commutative) to cut the intermediate data volume.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apptree"
+	"repro/internal/heuristics"
+	"repro/internal/instance"
+	"repro/internal/multiapp"
+	"repro/internal/rewrite"
+	"repro/internal/rng"
+)
+
+func main() {
+	base := instance.Generate(instance.Config{NumOps: 5}, 11) // borrow its catalog
+	w := multiapp.Workload{
+		NumTypes: base.NumTypes,
+		Sizes:    base.Sizes,
+		Freqs:    base.Freqs,
+		Holders:  base.Holders,
+		Platform: base.Platform,
+		Alpha:    1.1,
+	}
+
+	dashboard := apptree.Random(rng.New(1), 8, w.NumTypes)
+	alerting := apptree.Random(rng.New(2), 12, w.NumTypes)
+	digest := apptree.Random(rng.New(3), 6, w.NumTypes)
+	apps := []multiapp.App{{Tree: dashboard, Rho: 1}, {Tree: alerting, Rho: 4}, {Tree: digest, Rho: 0.1}}
+
+	solve := func(in *instance.Instance) *heuristics.Result {
+		res, err := heuristics.Solve(in, heuristics.SubtreeBottomUp{}, heuristics.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	// Independent platforms: one purchase per query.
+	total := 0.0
+	for i, app := range apps {
+		in, err := multiapp.Combine([]multiapp.App{app}, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := solve(in)
+		fmt.Printf("query %d alone (rho=%g): $%.0f (%d processors)\n", i+1, app.Rho, res.Cost, res.Procs)
+		total += res.Cost
+	}
+	fmt.Printf("independent platforms total: $%.0f\n\n", total)
+
+	// Shared platform.
+	combined, err := multiapp.Combine(apps, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := solve(combined)
+	fmt.Printf("shared platform: $%.0f (%d processors) — %.0f%% of the independent cost\n\n",
+		res.Cost, res.Procs, 100*res.Cost/total)
+
+	// Mutable-operator rewriting of the alerting query.
+	alertIn := &instance.Instance{
+		Tree: alerting, NumTypes: w.NumTypes, Sizes: w.Sizes, Freqs: w.Freqs,
+		Holders: w.Holders, Platform: w.Platform, Rho: 4, Alpha: w.Alpha,
+	}
+	alertIn.Refresh()
+	cands, err := rewrite.Optimize(alertIn, heuristics.SubtreeBottomUp{}, heuristics.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alerting query rewrites (volume = total intermediate MB per result):")
+	for _, c := range cands {
+		vol := rewrite.Volume(c.Tree, w.Sizes)
+		if c.Err != nil {
+			fmt.Printf("  %-13s volume %7.0f MB   infeasible\n", c.Name, vol)
+			continue
+		}
+		fmt.Printf("  %-13s volume %7.0f MB   $%.0f (%d processors)\n",
+			c.Name, vol, c.Result.Cost, c.Result.Procs)
+	}
+}

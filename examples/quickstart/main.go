@@ -1,0 +1,71 @@
+// Quickstart: generate a paper-style instance, run all six heuristics,
+// validate and execute the cheapest mapping, and render the paper's
+// Figure 1(a) example tree as Graphviz dot.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	streamalloc "repro"
+	"repro/internal/apptree"
+)
+
+func main() {
+	// A random 40-operator application with the paper's defaults: 15
+	// object types of 5-30 MB refreshed every 2s, rho = 1 result/s.
+	in := streamalloc.Generate(streamalloc.InstanceConfig{NumOps: 40, Alpha: 0.9}, 42)
+	fmt.Printf("application: %d operators over %d basic-object leaves\n",
+		in.Tree.NumOps(), in.Tree.NumLeaves())
+	fmt.Printf("cost lower bound: $%.0f\n\n", streamalloc.LowerBound(in))
+
+	var solver streamalloc.Solver
+	for _, o := range solver.SolveAll(in) {
+		if o.Err != nil {
+			fmt.Printf("  %-22s no feasible mapping\n", o.Name)
+			continue
+		}
+		fmt.Printf("  %-22s $%-7.0f (%d processors)\n", o.Name, o.Result.Cost, o.Result.Procs)
+	}
+
+	best, err := solver.Best(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := streamalloc.Validate(best.Mapping); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := streamalloc.Verify(best, streamalloc.SimOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest: %s at $%.0f; stream engine sustains %.2f results/s (target %.0f)\n",
+		best.Heuristic, best.Cost, rep.Throughput, in.Rho)
+
+	// The paper's Figure 1(a) standard tree, ready for `dot -Tpng`.
+	fig1a := paperFigure1a()
+	fmt.Printf("\nFigure 1(a) as Graphviz dot:\n%s", fig1a.DOT("fig1a"))
+}
+
+// paperFigure1a builds the exact example of the paper's Figure 1(a).
+func paperFigure1a() *apptree.Tree {
+	t := &apptree.Tree{}
+	t.Ops = make([]apptree.Operator, 5)
+	t.Root = 3 // n4
+	t.Ops[3] = apptree.Operator{Parent: apptree.NoParent, ChildOps: []int{4, 2}}
+	t.Ops[4] = apptree.Operator{Parent: 3, ChildOps: []int{1, 0}}
+	t.Ops[2] = apptree.Operator{Parent: 3}
+	t.Ops[1] = apptree.Operator{Parent: 4}
+	t.Ops[0] = apptree.Operator{Parent: 4}
+	add := func(op, obj int) {
+		li := len(t.Leaves)
+		t.Leaves = append(t.Leaves, apptree.Leaf{Object: obj, Parent: op})
+		t.Ops[op].Leaves = append(t.Ops[op].Leaves, li)
+	}
+	add(1, 0) // n2 <- o1
+	add(0, 0) // n1 <- o1
+	add(0, 1) // n1 <- o2
+	add(2, 1) // n3 <- o2
+	add(2, 2) // n3 <- o3
+	return t
+}

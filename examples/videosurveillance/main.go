@@ -1,0 +1,91 @@
+// Video surveillance: the motivating application of the paper's
+// introduction (after Srivastava et al.). Cameras spread over a campus
+// continuously publish frames; the query tree applies motion filters per
+// camera pair, then correlates regions, then aggregates a site-wide alert.
+//
+// This example builds the operator tree explicitly (no random generation),
+// provisions a platform for it at two different QoS targets, and executes
+// the chosen mapping on the stream engine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	streamalloc "repro"
+	"repro/internal/apptree"
+	"repro/internal/instance"
+)
+
+func main() {
+	// Eight cameras -> 8 object types. A frame bundle is ~12-20 MB and is
+	// refreshed every 2 seconds (the paper's high-frequency regime).
+	const cameras = 8
+	sizes := []float64{12, 14, 16, 18, 20, 13, 15, 17}
+	freqs := make([]float64, cameras)
+	for i := range freqs {
+		freqs[i] = 0.5
+	}
+
+	// Tree: per-pair motion detection (al-operators) -> regional
+	// correlation -> site aggregation. 4 + 2 + 1 = 7 operators.
+	t := &apptree.Tree{}
+	t.Ops = make([]apptree.Operator, 7)
+	addLeaf := func(op, cam int) {
+		li := len(t.Leaves)
+		t.Leaves = append(t.Leaves, apptree.Leaf{Object: cam, Parent: op})
+		t.Ops[op].Leaves = append(t.Ops[op].Leaves, li)
+	}
+	// Operators 0-3: motion detection over camera pairs.
+	for i := 0; i < 4; i++ {
+		t.Ops[i] = apptree.Operator{Parent: 4 + i/2}
+		addLeaf(i, 2*i)
+		addLeaf(i, 2*i+1)
+	}
+	// Operators 4,5: regional correlation; operator 6: site aggregation.
+	t.Ops[4] = apptree.Operator{Parent: 6, ChildOps: []int{0, 1}}
+	t.Ops[5] = apptree.Operator{Parent: 6, ChildOps: []int{2, 3}}
+	t.Ops[6] = apptree.Operator{Parent: apptree.NoParent, ChildOps: []int{4, 5}}
+	t.Root = 6
+
+	// Camera feeds are recorded on 3 of the 6 data servers, round-robin.
+	holders := make([][]int, cameras)
+	for cam := range holders {
+		holders[cam] = []int{cam % 3}
+	}
+
+	for _, rho := range []float64{1, 5} {
+		in := &instance.Instance{
+			Tree:     t,
+			NumTypes: cameras,
+			Sizes:    sizes,
+			Freqs:    freqs,
+			Holders:  holders,
+			Platform: streamalloc.DefaultPlatform(),
+			Rho:      rho,
+			Alpha:    1.1, // pattern recognition is slightly super-linear
+		}
+		in.Refresh()
+		if err := in.Validate(); err != nil {
+			log.Fatal(err)
+		}
+
+		var solver streamalloc.Solver
+		best, err := solver.Best(in)
+		if err != nil {
+			log.Fatalf("rho=%g: %v", rho, err)
+		}
+		rep, err := streamalloc.Verify(best, streamalloc.SimOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rho = %g alerts/s: %s buys %d processor(s) for $%.0f; sustains %.1f/s\n",
+			rho, best.Heuristic, best.Procs, best.Cost, rep.Throughput)
+		procs, ops, _ := best.Mapping.Compact()
+		for i := range procs {
+			cat := in.Platform.Catalog
+			fmt.Printf("    P%d (%.2f GHz, %.0f Gbps): operators %v\n",
+				i, cat.CPUs[procs[i].Config.CPU].SpeedGHz, cat.NICs[procs[i].Config.NIC].Gbps, ops[i])
+		}
+	}
+}

@@ -1,0 +1,412 @@
+// Package apptree models the application side of the in-network stream
+// processing problem of Benoit et al. (IPDPS/APDCM 2009): a binary tree
+// whose internal nodes are operators and whose leaves are occurrences of
+// basic objects, continuously updated at data servers.
+//
+// Following the paper's notation, for an operator n_i:
+//
+//   - Leaf(i) is the index set of basic objects its leaf children need,
+//   - Ch(i) is the index set of its operator children,
+//   - Par(i) is its parent operator (if any),
+//   - |Leaf(i)| + |Ch(i)| <= 2 because the tree is binary,
+//   - an operator with at least one leaf child is an "al-operator"
+//     ("almost leaf").
+//
+// The package is purely structural: object sizes, download frequencies
+// and the computation exponent alpha live in package instance, which
+// derives per-operator work w_i and output size delta_i from a Tree.
+package apptree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// NoParent marks the root operator's Parent field.
+const NoParent = -1
+
+// Leaf is one occurrence of a basic object as a tree leaf. Several leaves
+// may reference the same object type (the paper's Figure 1 shows o1 and o2
+// appearing twice).
+type Leaf struct {
+	Object int // basic-object type index, 0-based
+	Parent int // operator index owning this leaf
+}
+
+// Operator is an internal node of the application tree.
+type Operator struct {
+	Parent   int   // parent operator index, or NoParent for the root
+	ChildOps []int // operator children, in left-to-right order (0..2)
+	Leaves   []int // indices into Tree.Leaves of leaf children (0..2)
+}
+
+// Tree is a binary operator tree. The zero value is not useful; build
+// trees with Random, LeftDeep or NewBuilder.
+type Tree struct {
+	Ops    []Operator
+	Leaves []Leaf
+	Root   int
+}
+
+// NumOps returns the number of operators (internal nodes).
+func (t *Tree) NumOps() int { return len(t.Ops) }
+
+// NumLeaves returns the number of leaf occurrences.
+func (t *Tree) NumLeaves() int { return len(t.Leaves) }
+
+// IsAL reports whether operator i is an al-operator, i.e. has at least one
+// basic-object leaf child.
+func (t *Tree) IsAL(i int) bool { return len(t.Ops[i].Leaves) > 0 }
+
+// ALOperators returns the indices of all al-operators, in increasing order.
+func (t *Tree) ALOperators() []int {
+	var out []int
+	for i := range t.Ops {
+		if t.IsAL(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// LeafObjects returns the sorted de-duplicated set Leaf(i) of basic-object
+// types operator i must download.
+func (t *Tree) LeafObjects(i int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, li := range t.Ops[i].Leaves {
+		k := t.Leaves[li].Object
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ObjectSet returns the sorted set of distinct basic-object types used
+// anywhere in the tree.
+func (t *Tree) ObjectSet() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, l := range t.Leaves {
+		if !seen[l.Object] {
+			seen[l.Object] = true
+			out = append(out, l.Object)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Popularity returns, for each object type in [0, numTypes), how many
+// operators need it (the paper's Object-Grouping "popularity" count).
+// An operator with two leaves of the same type counts once.
+func (t *Tree) Popularity(numTypes int) []int {
+	pop := make([]int, numTypes)
+	for i := range t.Ops {
+		for _, k := range t.LeafObjects(i) {
+			pop[k]++
+		}
+	}
+	return pop
+}
+
+// BottomUp returns the operator indices in a bottom-up topological order:
+// every operator appears after all of its operator children.
+func (t *Tree) BottomUp() []int {
+	out := make([]int, 0, len(t.Ops))
+	var visit func(i int)
+	visit = func(i int) {
+		for _, c := range t.Ops[i].ChildOps {
+			visit(c)
+		}
+		out = append(out, i)
+	}
+	visit(t.Root)
+	return out
+}
+
+// TopDown returns operator indices with every operator before its children.
+func (t *Tree) TopDown() []int {
+	bu := t.BottomUp()
+	for l, r := 0, len(bu)-1; l < r; l, r = l+1, r-1 {
+		bu[l], bu[r] = bu[r], bu[l]
+	}
+	return bu
+}
+
+// Depth returns the number of edges on the longest root-to-operator path.
+func (t *Tree) Depth() int {
+	var depth func(i int) int
+	depth = func(i int) int {
+		d := 0
+		for _, c := range t.Ops[i].ChildOps {
+			if dc := depth(c) + 1; dc > d {
+				d = dc
+			}
+		}
+		return d
+	}
+	if len(t.Ops) == 0 {
+		return 0
+	}
+	return depth(t.Root)
+}
+
+// Edge is a parent-child pair of operators; it carries the intermediate
+// result of the child up to the parent.
+type Edge struct {
+	Parent, Child int
+}
+
+// Edges lists all operator-operator tree edges.
+func (t *Tree) Edges() []Edge {
+	var out []Edge
+	for i, op := range t.Ops {
+		for _, c := range op.ChildOps {
+			out = append(out, Edge{Parent: i, Child: c})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Parent != out[b].Parent {
+			return out[a].Parent < out[b].Parent
+		}
+		return out[a].Child < out[b].Child
+	})
+	return out
+}
+
+// Validate checks the structural invariants of the paper's model and
+// returns a descriptive error on the first violation:
+//
+//   - exactly one root with Parent == NoParent, reachable from Root,
+//   - parent/child links are mutually consistent,
+//   - every operator has 1..2 children total and |Leaf(i)|+|Ch(i)| <= 2,
+//   - every leaf has a valid owning operator,
+//   - the structure is a tree (no cycles, all operators reachable).
+func (t *Tree) Validate() error {
+	n := len(t.Ops)
+	if n == 0 {
+		return fmt.Errorf("apptree: empty tree")
+	}
+	if t.Root < 0 || t.Root >= n {
+		return fmt.Errorf("apptree: root index %d out of range", t.Root)
+	}
+	if t.Ops[t.Root].Parent != NoParent {
+		return fmt.Errorf("apptree: root %d has parent %d", t.Root, t.Ops[t.Root].Parent)
+	}
+	for i, op := range t.Ops {
+		total := len(op.ChildOps) + len(op.Leaves)
+		if total < 1 || total > 2 {
+			return fmt.Errorf("apptree: operator %d has %d children, want 1..2", i, total)
+		}
+		if i != t.Root {
+			p := op.Parent
+			if p < 0 || p >= n {
+				return fmt.Errorf("apptree: operator %d has invalid parent %d", i, p)
+			}
+			found := false
+			for _, c := range t.Ops[p].ChildOps {
+				if c == i {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("apptree: operator %d not listed as child of its parent %d", i, p)
+			}
+		} else if op.Parent != NoParent {
+			return fmt.Errorf("apptree: root %d must have NoParent", i)
+		}
+		for _, c := range op.ChildOps {
+			if c < 0 || c >= n {
+				return fmt.Errorf("apptree: operator %d has invalid child %d", i, c)
+			}
+			if t.Ops[c].Parent != i {
+				return fmt.Errorf("apptree: child %d of %d has parent %d", c, i, t.Ops[c].Parent)
+			}
+		}
+		for _, li := range op.Leaves {
+			if li < 0 || li >= len(t.Leaves) {
+				return fmt.Errorf("apptree: operator %d has invalid leaf index %d", i, li)
+			}
+			if t.Leaves[li].Parent != i {
+				return fmt.Errorf("apptree: leaf %d of operator %d has parent %d", li, i, t.Leaves[li].Parent)
+			}
+		}
+	}
+	for li, l := range t.Leaves {
+		if l.Parent < 0 || l.Parent >= n {
+			return fmt.Errorf("apptree: leaf %d has invalid parent %d", li, l.Parent)
+		}
+		found := false
+		for _, x := range t.Ops[l.Parent].Leaves {
+			if x == li {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("apptree: leaf %d not listed by its parent %d", li, l.Parent)
+		}
+		if l.Object < 0 {
+			return fmt.Errorf("apptree: leaf %d has negative object type", li)
+		}
+	}
+	// Reachability doubles as a cycle check: in a consistent parent/child
+	// structure, a cycle would make some operator unreachable from Root.
+	seen := make([]bool, n)
+	var visit func(i int) error
+	visit = func(i int) error {
+		if seen[i] {
+			return fmt.Errorf("apptree: operator %d visited twice (cycle)", i)
+		}
+		seen[i] = true
+		for _, c := range t.Ops[i].ChildOps {
+			if err := visit(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := visit(t.Root); err != nil {
+		return err
+	}
+	for i, s := range seen {
+		if !s {
+			return fmt.Errorf("apptree: operator %d unreachable from root", i)
+		}
+	}
+	return nil
+}
+
+// Random generates a uniformly-shaped random full binary tree with exactly
+// numOps operators (hence numOps+1 leaves), each leaf referencing a basic
+// object type drawn uniformly from [0, numTypes). numOps must be >= 1 and
+// numTypes >= 1. This follows the paper's simulation methodology:
+// "randomly generated binary operator trees ... all leaves correspond to
+// basic objects, and each basic object is chosen randomly among 15
+// different types".
+func Random(r *rand.Rand, numOps, numTypes int) *Tree {
+	if numOps < 1 {
+		panic("apptree: Random needs numOps >= 1")
+	}
+	if numTypes < 1 {
+		panic("apptree: Random needs numTypes >= 1")
+	}
+	t := &Tree{}
+	// build(n) creates a subtree containing n operators and returns its
+	// root operator index; n == 0 yields a leaf (returns -1 and the caller
+	// attaches a Leaf instead).
+	var build func(n, parent int) int
+	build = func(n, parent int) int {
+		id := len(t.Ops)
+		t.Ops = append(t.Ops, Operator{Parent: parent})
+		nl := r.Intn(n) // operators in the left subtree: 0..n-1
+		nr := n - 1 - nl
+		for _, sub := range []int{nl, nr} {
+			if sub == 0 {
+				li := len(t.Leaves)
+				t.Leaves = append(t.Leaves, Leaf{Object: r.Intn(numTypes), Parent: id})
+				t.Ops[id].Leaves = append(t.Ops[id].Leaves, li)
+			} else {
+				c := build(sub, id)
+				t.Ops[id].ChildOps = append(t.Ops[id].ChildOps, c)
+			}
+		}
+		return id
+	}
+	t.Root = build(numOps, NoParent)
+	return t
+}
+
+// LeftDeep builds the paper's Figure 1(b) shape: a left-deep tree whose
+// i-th operator (from the bottom) combines the running intermediate result
+// with one basic object. objects lists the object type of each operator's
+// leaf from the bottom up; the bottom-most operator gets two leaves
+// (objects[0] and objects[1]), so len(objects) must be >= 2 and the tree
+// has len(objects)-1 operators.
+func LeftDeep(objects []int) *Tree {
+	if len(objects) < 2 {
+		panic("apptree: LeftDeep needs at least two objects")
+	}
+	t := &Tree{}
+	numOps := len(objects) - 1
+	// Operator numOps-1 is the bottom, operator 0 the root, matching the
+	// figure where n1 is at the bottom; we instead index root last for
+	// construction simplicity and fix parents as we go.
+	prev := -1
+	for i := 0; i < numOps; i++ {
+		id := len(t.Ops)
+		t.Ops = append(t.Ops, Operator{Parent: NoParent})
+		if i == 0 {
+			for j := 0; j < 2; j++ {
+				li := len(t.Leaves)
+				t.Leaves = append(t.Leaves, Leaf{Object: objects[j], Parent: id})
+				t.Ops[id].Leaves = append(t.Ops[id].Leaves, li)
+			}
+		} else {
+			t.Ops[id].ChildOps = append(t.Ops[id].ChildOps, prev)
+			t.Ops[prev].Parent = id
+			li := len(t.Leaves)
+			t.Leaves = append(t.Leaves, Leaf{Object: objects[i+1], Parent: id})
+			t.Ops[id].Leaves = append(t.Ops[id].Leaves, li)
+		}
+		prev = id
+	}
+	t.Root = prev
+	return t
+}
+
+// DOT renders the tree in Graphviz dot format (operators as boxes, basic
+// objects as ellipses labelled o<k+1> like the paper's Figure 1).
+func (t *Tree) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=BT;\n", name)
+	for i := range t.Ops {
+		fmt.Fprintf(&b, "  n%d [shape=box,label=\"n%d\"];\n", i, i+1)
+	}
+	for li, l := range t.Leaves {
+		fmt.Fprintf(&b, "  o%d [shape=ellipse,label=\"o%d\"];\n", li, l.Object+1)
+	}
+	for i, op := range t.Ops {
+		for _, c := range op.ChildOps {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", c, i)
+		}
+		for _, li := range op.Leaves {
+			fmt.Fprintf(&b, "  o%d -> n%d;\n", li, i)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Derive computes, bottom-up, the per-operator output sizes delta_i and
+// work amounts w_i given the basic-object sizes (MB, indexed by object
+// type) and the computation exponent alpha:
+//
+//	delta_i = delta_left + delta_right
+//	w_i     = (delta_left + delta_right)^alpha
+//
+// where each child contribution is the object size for a leaf child and
+// delta_child for an operator child. This is exactly the paper's
+// simulation methodology (Section 5).
+func (t *Tree) Derive(sizes []float64, alpha float64) (w, delta []float64) {
+	w = make([]float64, len(t.Ops))
+	delta = make([]float64, len(t.Ops))
+	for _, i := range t.BottomUp() {
+		sum := 0.0
+		for _, c := range t.Ops[i].ChildOps {
+			sum += delta[c]
+		}
+		for _, li := range t.Ops[i].Leaves {
+			sum += sizes[t.Leaves[li].Object]
+		}
+		delta[i] = sum
+		w[i] = math.Pow(sum, alpha)
+	}
+	return w, delta
+}

@@ -1,0 +1,107 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/heuristics"
+	"repro/internal/instance"
+	"repro/internal/platform"
+)
+
+func TestTotals(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 20, Alpha: 1.1}, 1)
+	w := TotalWork(in)
+	manual := 0.0
+	for _, wi := range in.W {
+		manual += wi * in.Rho
+	}
+	if math.Abs(w-manual) > 1e-9 {
+		t.Fatalf("TotalWork = %v, want %v", w, manual)
+	}
+	dl := TotalDownload(in)
+	if dl <= 0 {
+		t.Fatalf("TotalDownload = %v", dl)
+	}
+	manual = 0.0
+	for _, k := range in.Tree.ObjectSet() {
+		manual += in.Rate(k)
+	}
+	if math.Abs(dl-manual) > 1e-9 {
+		t.Fatalf("TotalDownload = %v, want %v", dl, manual)
+	}
+}
+
+func TestMinProcessorsAtLeastOne(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 1, Alpha: 0.5}, 1)
+	if got := MinProcessors(in); got != 1 {
+		t.Fatalf("MinProcessors = %d, want 1", got)
+	}
+}
+
+func TestMinProcessorsComputeDriven(t *testing.T) {
+	// High rho multiplies the work: force the compute bound to bind.
+	in := instance.Generate(instance.Config{NumOps: 40, Alpha: 1.2, Rho: 50}, 2)
+	cat := in.Platform.Catalog
+	best := cat.MostExpensive()
+	want := int(math.Ceil(TotalWork(in) / cat.SpeedUnits(best)))
+	if want < 2 {
+		t.Skip("instance too small to exercise the compute bound")
+	}
+	if got := MinProcessors(in); got != want {
+		t.Fatalf("MinProcessors = %d, want %d", got, want)
+	}
+}
+
+func TestCostLowerBoundIsSound(t *testing.T) {
+	// Soundness: the bound never exceeds the cost of any heuristic
+	// solution (which is feasible by construction).
+	for seed := int64(0); seed < 10; seed++ {
+		in := instance.Generate(instance.Config{NumOps: 30, Alpha: 1.2}, seed)
+		lb := CostLowerBound(in)
+		if lb <= 0 {
+			t.Fatalf("seed %d: non-positive lower bound %v", seed, lb)
+		}
+		for _, h := range heuristics.All() {
+			res, err := heuristics.Solve(in, h, heuristics.Options{Seed: seed})
+			if err != nil {
+				continue
+			}
+			if lb > res.Cost+1e-6 {
+				t.Fatalf("seed %d: lower bound %v exceeds %s cost %v", seed, lb, h.Name(), res.Cost)
+			}
+		}
+	}
+}
+
+func TestCostLowerBoundAtLeastOneChassis(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 5, Alpha: 0.5}, 3)
+	if lb := CostLowerBound(in); lb < platform.BaseChassisCost {
+		t.Fatalf("lower bound %v below one base chassis", lb)
+	}
+}
+
+func TestCostLowerBoundGrowsWithRho(t *testing.T) {
+	a := instance.Generate(instance.Config{NumOps: 40, Alpha: 1.3, Rho: 1}, 4)
+	b := instance.Generate(instance.Config{NumOps: 40, Alpha: 1.3, Rho: 40}, 4)
+	if CostLowerBound(b) < CostLowerBound(a) {
+		t.Fatal("lower bound decreased when rho grew")
+	}
+}
+
+func TestHomogeneousCatalogBound(t *testing.T) {
+	p := platform.DefaultPlatform()
+	p.Catalog = platform.Homogeneous(2, 2)
+	in := instance.Generate(instance.Config{NumOps: 20, Alpha: 1.0, Platform: p}, 5)
+	lb := CostLowerBound(in)
+	unit := p.Catalog.Cost(platform.Config{})
+	if lb < unit {
+		t.Fatalf("bound %v below one unit cost %v", lb, unit)
+	}
+	// With a single option the marginal slopes are zero; the bound must be
+	// an integer multiple of the unit cost.
+	ratio := lb / unit
+	if math.Abs(ratio-math.Round(ratio)) > 1e-9 {
+		t.Fatalf("homogeneous bound %v not a multiple of unit cost %v", lb, unit)
+	}
+}

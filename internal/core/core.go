@@ -1,0 +1,109 @@
+// Package core orchestrates the full resource-allocation pipeline of
+// Benoit et al. — generate or load an instance, run one or all placement
+// heuristics (with server selection and downgrade), validate the mapping,
+// bound its cost, and optionally execute it on the stream engine — behind
+// one Solver type. The root streamalloc package re-exports this as the
+// library's public API.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bounds"
+	"repro/internal/heuristics"
+	"repro/internal/instance"
+	"repro/internal/stream"
+)
+
+// Solver runs the placement pipeline. The zero value uses the paper's
+// defaults (three-loop server selection, downgrade enabled, seed 0).
+type Solver struct {
+	Options heuristics.Options
+}
+
+// Solve runs the named heuristic (see Heuristics for valid names).
+func (s *Solver) Solve(in *instance.Instance, name string) (*heuristics.Result, error) {
+	h, err := heuristics.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return heuristics.Solve(in, h, s.Options)
+}
+
+// Outcome pairs a heuristic name with its result or failure.
+type Outcome struct {
+	Name   string
+	Result *heuristics.Result // nil when Err != nil
+	Err    error
+}
+
+// SolveAll runs every paper heuristic and returns the outcomes sorted by
+// cost (failures last, in name order).
+func (s *Solver) SolveAll(in *instance.Instance) []Outcome {
+	var out []Outcome
+	for _, h := range heuristics.All() {
+		res, err := heuristics.Solve(in, h, s.Options)
+		out = append(out, Outcome{Name: h.Name(), Result: res, Err: err})
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ra, rb := out[a], out[b]
+		switch {
+		case ra.Err == nil && rb.Err == nil:
+			return ra.Result.Cost < rb.Result.Cost
+		case ra.Err == nil:
+			return true
+		case rb.Err == nil:
+			return false
+		default:
+			return ra.Name < rb.Name
+		}
+	})
+	return out
+}
+
+// Best returns the cheapest feasible result across all heuristics — the
+// paper's practical recommendation (Subtree-bottom-up usually wins, but
+// when it fails one of the greedy heuristics often still succeeds).
+func (s *Solver) Best(in *instance.Instance) (*heuristics.Result, error) {
+	outcomes := s.SolveAll(in)
+	if len(outcomes) == 0 || outcomes[0].Err != nil {
+		return nil, fmt.Errorf("core: every heuristic failed: %w", heuristics.ErrInfeasible)
+	}
+	return outcomes[0].Result, nil
+}
+
+// Heuristics lists the valid heuristic names in the paper's order.
+func Heuristics() []string {
+	var names []string
+	for _, h := range heuristics.All() {
+		names = append(names, h.Name())
+	}
+	return names
+}
+
+// LowerBound returns a provable lower bound on the platform cost.
+func LowerBound(in *instance.Instance) float64 {
+	return bounds.CostLowerBound(in)
+}
+
+// Verify executes the mapping on the stream engine and checks that the
+// measured steady-state throughput reaches the instance's QoS target.
+func Verify(res *heuristics.Result, opt stream.Options) (*stream.Report, error) {
+	rep, err := stream.Simulate(res.Mapping, opt)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Throughput < 0.9*res.Mapping.Inst.Rho {
+		return rep, fmt.Errorf("core: measured throughput %.3f below target %.3f",
+			rep.Throughput, res.Mapping.Inst.Rho)
+	}
+	return rep, nil
+}
+
+// IsInfeasible reports whether err means "no feasible mapping exists /
+// was found" rather than a usage error.
+func IsInfeasible(err error) bool {
+	return errors.Is(err, heuristics.ErrInfeasible)
+}

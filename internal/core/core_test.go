@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/stream"
+)
+
+func TestSolveByName(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 15, Alpha: 1.0}, 1)
+	var s Solver
+	res, err := s.Solve(in, "Subtree-bottom-up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Mapping.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(in, "bogus"); err == nil {
+		t.Fatal("unknown heuristic accepted")
+	}
+}
+
+func TestSolveAllSorted(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 25, Alpha: 1.0}, 2)
+	var s Solver
+	outcomes := s.SolveAll(in)
+	if len(outcomes) != 6 {
+		t.Fatalf("got %d outcomes", len(outcomes))
+	}
+	prev := -1.0
+	for _, o := range outcomes {
+		if o.Err != nil {
+			continue
+		}
+		if prev >= 0 && o.Result.Cost < prev {
+			t.Fatal("outcomes not sorted by cost")
+		}
+		prev = o.Result.Cost
+	}
+}
+
+func TestBestBeatsLowerBound(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 20, Alpha: 1.0}, 3)
+	var s Solver
+	best, err := s.Best(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb := LowerBound(in); best.Cost < lb-1e-6 {
+		t.Fatalf("best cost %v below lower bound %v", best.Cost, lb)
+	}
+}
+
+func TestBestInfeasible(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 40, Alpha: 3}, 1)
+	var s Solver
+	if _, err := s.Best(in); err == nil || !IsInfeasible(err) {
+		t.Fatalf("want infeasible error, got %v", err)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 12, Alpha: 1.0}, 4)
+	var s Solver
+	res, err := s.Solve(in, "Comp-Greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Verify(res, stream.Options{Results: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput < in.Rho {
+		t.Fatalf("throughput %v below rho", rep.Throughput)
+	}
+}
+
+func TestHeuristicNames(t *testing.T) {
+	names := Heuristics()
+	if len(names) != 6 || names[0] != "Random" || names[3] != "Subtree-bottom-up" {
+		t.Fatalf("names = %v", names)
+	}
+}

@@ -1,0 +1,168 @@
+// Package desim is a minimal discrete-event simulation kernel: a virtual
+// clock and a priority queue of cancellable events. The stream engine
+// builds its fluid-flow execution model on top of it.
+package desim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. It is returned by Schedule so callers can
+// cancel it.
+type Event struct {
+	Time   float64
+	Action func()
+
+	seq       int64
+	index     int // heap position, -1 when popped/cancelled
+	cancelled bool
+}
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+type Sim struct {
+	now    float64
+	seq    int64
+	queue  eventHeap
+	events int64 // processed events, for introspection and runaway guards
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Sim) Processed() int64 { return s.events }
+
+// Schedule runs action at absolute virtual time t (>= Now). Events at the
+// same instant run in scheduling order.
+func (s *Sim) Schedule(t float64, action func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("desim: scheduling in the past: %v < %v", t, s.now))
+	}
+	if math.IsNaN(t) {
+		panic("desim: scheduling at NaN")
+	}
+	s.seq++
+	e := &Event{Time: t, Action: action, seq: s.seq}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules action d time units from now.
+func (s *Sim) After(d float64, action func()) *Event {
+	return s.Schedule(s.now+d, action)
+}
+
+// Cancel revokes a scheduled event; cancelling an already-run or
+// already-cancelled event is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || e.cancelled || e.index < 0 {
+		e.markCancelled()
+		return
+	}
+	e.cancelled = true
+	heap.Remove(&s.queue, e.index)
+}
+
+func (e *Event) markCancelled() {
+	if e != nil {
+		e.cancelled = true
+	}
+}
+
+// Step executes the next event; it reports false when the queue is empty.
+func (s *Sim) Step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.Time
+		s.events++
+		e.Action()
+		return true
+	}
+	return false
+}
+
+// RunUntil processes events until the queue empties, virtual time would
+// pass deadline, or maxEvents have run; it returns the reason it stopped.
+func (s *Sim) RunUntil(deadline float64, maxEvents int64) StopReason {
+	for {
+		if maxEvents > 0 && s.events >= maxEvents {
+			return StopEvents
+		}
+		// Peek.
+		var next *Event
+		for s.queue.Len() > 0 {
+			top := s.queue[0]
+			if top.cancelled {
+				heap.Pop(&s.queue)
+				continue
+			}
+			next = top
+			break
+		}
+		if next == nil {
+			return StopEmpty
+		}
+		if next.Time > deadline {
+			s.now = deadline
+			return StopDeadline
+		}
+		s.Step()
+	}
+}
+
+// StopReason tells why RunUntil returned.
+type StopReason int
+
+// RunUntil outcomes.
+const (
+	StopEmpty StopReason = iota // no events left
+	StopDeadline
+	StopEvents
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case StopEmpty:
+		return "queue empty"
+	case StopDeadline:
+		return "deadline reached"
+	case StopEvents:
+		return "event budget exhausted"
+	}
+	return fmt.Sprintf("StopReason(%d)", int(r))
+}
+
+// eventHeap orders by (Time, seq) so simultaneous events run FIFO.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

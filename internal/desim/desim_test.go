@@ -1,0 +1,118 @@
+package desim
+
+import (
+	"testing"
+)
+
+func TestOrdering(t *testing.T) {
+	var s Sim
+	var got []int
+	s.Schedule(3, func() { got = append(got, 3) })
+	s.Schedule(1, func() { got = append(got, 1) })
+	s.Schedule(2, func() { got = append(got, 2) })
+	if r := s.RunUntil(10, 0); r != StopEmpty {
+		t.Fatalf("stop reason %v", r)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("now = %v, want 3", s.Now())
+	}
+}
+
+func TestSimultaneousFIFO(t *testing.T) {
+	var s Sim
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Schedule(1, func() { got = append(got, i) })
+	}
+	s.RunUntil(2, 0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var s Sim
+	ran := false
+	e := s.Schedule(1, func() { ran = true })
+	s.Cancel(e)
+	s.RunUntil(10, 0)
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	// Double cancel is a no-op.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	var s Sim
+	ran := false
+	var e2 *Event
+	s.Schedule(1, func() { s.Cancel(e2) })
+	e2 = s.Schedule(2, func() { ran = true })
+	s.RunUntil(10, 0)
+	if ran {
+		t.Fatal("event cancelled mid-run still ran")
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	var s Sim
+	var times []float64
+	s.After(1, func() {
+		times = append(times, s.Now())
+		s.After(1.5, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.RunUntil(10, 0)
+	if len(times) != 2 || times[0] != 1 || times[1] != 2.5 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	var s Sim
+	ran := false
+	s.Schedule(5, func() { ran = true })
+	if r := s.RunUntil(3, 0); r != StopDeadline {
+		t.Fatalf("stop reason %v", r)
+	}
+	if ran {
+		t.Fatal("event past deadline ran")
+	}
+	if s.Now() != 3 {
+		t.Fatalf("now = %v, want clamped to deadline 3", s.Now())
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	var s Sim
+	var tick func()
+	tick = func() { s.After(1, tick) }
+	s.After(1, tick)
+	if r := s.RunUntil(1e18, 100); r != StopEvents {
+		t.Fatalf("stop reason %v", r)
+	}
+	if s.Processed() != 100 {
+		t.Fatalf("processed = %d", s.Processed())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var s Sim
+	s.Schedule(5, func() {})
+	s.RunUntil(10, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Schedule(1, func() {})
+}

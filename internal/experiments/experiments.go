@@ -1,0 +1,317 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) plus the text-described experiments and this
+// repository's ablations. Each experiment is a pure function of a Config,
+// so benchmark and CLI output are identical and reproducible.
+//
+// The experiment index (IDs E1-E8, A1-A3, V1) lives in DESIGN.md;
+// EXPERIMENTS.md records paper-versus-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/heuristics"
+	"repro/internal/instance"
+	"repro/internal/stats"
+	"repro/internal/textplot"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	Seeds    int   // instances averaged per point (default 10)
+	BaseSeed int64 // first seed
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seeds <= 0 {
+		c.Seeds = 10
+	}
+	return c
+}
+
+// Point is one x position of one series.
+type Point struct {
+	X     float64
+	Mean  float64 // mean cost over feasible runs (NaN when none)
+	CI    float64 // 95% confidence half-width
+	Fails int     // runs with no feasible mapping
+	Runs  int
+}
+
+// Series is one heuristic's curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a reproduced paper figure.
+type Figure struct {
+	ID     string // e.g. "fig2a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// heuristicSet returns the paper's six heuristics plus the A3
+// conservative-merging variant of Subtree-bottom-up.
+func heuristicSet() []heuristics.Heuristic {
+	return append(heuristics.All(), heuristics.SubtreeBottomUp{DisableFold: true})
+}
+
+// sweep evaluates every heuristic at every x, averaging cost over seeds.
+func sweep(cfg Config, xs []float64, mk func(x float64, seed int64) *instance.Instance,
+	opts func(h heuristics.Heuristic) heuristics.Options) []Series {
+	cfg = cfg.withDefaults()
+	hs := heuristicSet()
+	series := make([]Series, len(hs))
+	for hi, h := range hs {
+		series[hi].Label = h.Name()
+		for _, x := range xs {
+			var costs []float64
+			fails := 0
+			for s := 0; s < cfg.Seeds; s++ {
+				seed := cfg.BaseSeed + int64(s)
+				in := mk(x, seed)
+				o := heuristics.Options{Seed: seed}
+				if opts != nil {
+					o = opts(h)
+					o.Seed = seed
+				}
+				res, err := heuristics.Solve(in, h, o)
+				if err != nil {
+					fails++
+					continue
+				}
+				costs = append(costs, res.Cost)
+			}
+			pt := Point{X: x, Fails: fails, Runs: cfg.Seeds, Mean: math.NaN()}
+			if len(costs) > 0 {
+				pt.Mean = stats.Mean(costs)
+				pt.CI = stats.CI95(costs)
+			}
+			series[hi].Points = append(series[hi].Points, pt)
+		}
+	}
+	return series
+}
+
+// nRange is the paper's x-axis for Figure 2: N in 20..140.
+func nRange() []float64 { return []float64{20, 40, 60, 80, 100, 120, 140} }
+
+// alphaRange is the paper's x-axis for Figure 3.
+func alphaRange() []float64 {
+	var xs []float64
+	for a := 0.5; a <= 2.51; a += 0.2 {
+		xs = append(xs, math.Round(a*100)/100)
+	}
+	return xs
+}
+
+// Fig2a reproduces Figure 2(a): cost versus N, alpha=0.9, high download
+// frequency (1/2 s), small objects (5-30 MB).
+func Fig2a(cfg Config) *Figure {
+	return &Figure{
+		ID: "fig2a", Title: "Figure 2(a): cost vs N (alpha=0.9, f=1/2s, small objects)",
+		XLabel: "number of nodes", YLabel: "cost ($)",
+		Series: sweep(cfg, nRange(), func(x float64, seed int64) *instance.Instance {
+			return instance.Generate(instance.Config{NumOps: int(x), Alpha: 0.9}, seed)
+		}, nil),
+	}
+}
+
+// Fig2b reproduces Figure 2(b): as Fig2a with alpha=1.7.
+func Fig2b(cfg Config) *Figure {
+	return &Figure{
+		ID: "fig2b", Title: "Figure 2(b): cost vs N (alpha=1.7, f=1/2s, small objects)",
+		XLabel: "number of nodes", YLabel: "cost ($)",
+		Series: sweep(cfg, nRange(), func(x float64, seed int64) *instance.Instance {
+			return instance.Generate(instance.Config{NumOps: int(x), Alpha: 1.7}, seed)
+		}, nil),
+	}
+}
+
+// Fig3 reproduces Figure 3: cost versus alpha at N=60.
+func Fig3(cfg Config) *Figure {
+	return &Figure{
+		ID: "fig3", Title: "Figure 3: cost vs alpha (N=60, f=1/2s, small objects)",
+		XLabel: "alpha", YLabel: "cost ($)",
+		Series: sweep(cfg, alphaRange(), func(x float64, seed int64) *instance.Instance {
+			return instance.Generate(instance.Config{NumOps: 60, Alpha: x}, seed)
+		}, nil),
+	}
+}
+
+// Fig3SmallTree reproduces the Section 5 text companion of Figure 3 for
+// N=20 (thresholds around alpha=1.7 and 2.2).
+func Fig3SmallTree(cfg Config) *Figure {
+	return &Figure{
+		ID: "fig3n20", Title: "cost vs alpha (N=20, f=1/2s, small objects)",
+		XLabel: "alpha", YLabel: "cost ($)",
+		Series: sweep(cfg, alphaRange(), func(x float64, seed int64) *instance.Instance {
+			return instance.Generate(instance.Config{NumOps: 20, Alpha: x}, seed)
+		}, nil),
+	}
+}
+
+// LargeObjects reproduces the Section 5 text experiment with 450-530 MB
+// objects: feasibility collapses beyond a modest tree size.
+func LargeObjects(cfg Config) *Figure {
+	xs := []float64{5, 10, 15, 20, 30, 45, 60}
+	return &Figure{
+		ID: "large", Title: "cost vs N (alpha=0.9, f=1/2s, LARGE objects 450-530MB)",
+		XLabel: "number of nodes", YLabel: "cost ($)",
+		Series: sweep(cfg, xs, func(x float64, seed int64) *instance.Instance {
+			return instance.Generate(instance.Config{NumOps: int(x), Alpha: 0.9, SizeMin: 450, SizeMax: 530}, seed)
+		}, nil),
+	}
+}
+
+// FrequencySweep reproduces the download-rate experiment: cost versus
+// update period (1/f from 2s to 50s) at N=60; below 1/10s the solutions
+// stop changing.
+func FrequencySweep(cfg Config) *Figure {
+	periods := []float64{2, 5, 10, 20, 50}
+	return &Figure{
+		ID: "freq", Title: "cost vs update period 1/f (N=60, alpha=0.9, small objects)",
+		XLabel: "update period (s)", YLabel: "cost ($)",
+		Series: sweep(cfg, periods, func(x float64, seed int64) *instance.Instance {
+			return instance.Generate(instance.Config{NumOps: 60, Alpha: 0.9, Freq: 1 / x}, seed)
+		}, nil),
+	}
+}
+
+// AblationDowngrade (A1) isolates the paper's third pipeline step: the
+// same placements with and without the downgrade step.
+func AblationDowngrade(cfg Config) *Figure {
+	fig := &Figure{
+		ID: "abl-downgrade", Title: "Ablation A1: downgrade step on/off (alpha=0.9)",
+		XLabel: "number of nodes", YLabel: "cost ($)",
+	}
+	for _, variant := range []struct {
+		label string
+		skip  bool
+	}{{"with downgrade", false}, {"without downgrade", true}} {
+		s := sweep(cfg, nRange(), func(x float64, seed int64) *instance.Instance {
+			return instance.Generate(instance.Config{NumOps: int(x), Alpha: 0.9}, seed)
+		}, func(heuristics.Heuristic) heuristics.Options {
+			return heuristics.Options{SkipDowngrade: variant.skip}
+		})
+		// Keep only Subtree-bottom-up and Comp-Greedy to keep the figure
+		// readable; the effect is uniform across heuristics.
+		for _, sr := range s {
+			if sr.Label == "Subtree-bottom-up" || sr.Label == "Comp-Greedy" {
+				sr.Label += " (" + variant.label + ")"
+				fig.Series = append(fig.Series, sr)
+			}
+		}
+	}
+	return fig
+}
+
+// AblationSelection (A2) compares the paper's three-loop server selection
+// with the naive random selection on the same placements.
+func AblationSelection(cfg Config) *Figure {
+	fig := &Figure{
+		ID: "abl-selection", Title: "Ablation A2: three-loop vs random server selection (alpha=0.9)",
+		XLabel: "number of nodes", YLabel: "feasible runs (of Seeds)",
+	}
+	cfg = cfg.withDefaults()
+	for _, variant := range []struct {
+		label string
+		mode  heuristics.ServerSelectionMode
+	}{{"three-loop", heuristics.SelectThreeLoop}, {"random", heuristics.SelectRandom}} {
+		s := Series{Label: "Subtree-bottom-up (" + variant.label + ")"}
+		for _, x := range nRange() {
+			ok := 0
+			for i := 0; i < cfg.Seeds; i++ {
+				seed := cfg.BaseSeed + int64(i)
+				in := instance.Generate(instance.Config{NumOps: int(x), Alpha: 0.9}, seed)
+				_, err := heuristics.Solve(in, heuristics.SubtreeBottomUp{},
+					heuristics.Options{Seed: seed, Selection: variant.mode})
+				if err == nil {
+					ok++
+				}
+			}
+			s.Points = append(s.Points, Point{X: x, Mean: float64(ok), Runs: cfg.Seeds, Fails: cfg.Seeds - ok})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Dat renders the figure as a gnuplot-style whitespace table: one x column
+// followed by one cost column per series ("nan" for infeasible points).
+func (f *Figure) Dat() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n# x", f.Title)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "\t%q", s.Label)
+	}
+	b.WriteByte('\n')
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i := range f.Series[0].Points {
+		fmt.Fprintf(&b, "%g", f.Series[0].Points[i].X)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, "\t%g", s.Points[i].Mean)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ASCII renders the figure as a terminal plot.
+func (f *Figure) ASCII(width, height int) string {
+	var series []textplot.Series
+	for _, s := range f.Series {
+		ts := textplot.Series{Label: s.Label}
+		for _, p := range s.Points {
+			ts.X = append(ts.X, p.X)
+			ts.Y = append(ts.Y, p.Mean)
+		}
+		series = append(series, ts)
+	}
+	return textplot.Plot(f.Title, series, width, height)
+}
+
+// Ranking returns the series labels ordered by mean cost across all
+// feasible points (cheapest first) — the paper's headline comparison.
+func (f *Figure) Ranking() []string {
+	type agg struct {
+		label string
+		mean  float64
+	}
+	var out []agg
+	for _, s := range f.Series {
+		var costs []float64
+		for _, p := range s.Points {
+			if !math.IsNaN(p.Mean) {
+				costs = append(costs, p.Mean)
+			}
+		}
+		if len(costs) > 0 {
+			out = append(out, agg{s.Label, stats.Mean(costs)})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].mean < out[b].mean })
+	labels := make([]string, len(out))
+	for i, a := range out {
+		labels[i] = a.label
+	}
+	return labels
+}
+
+// SeriesByLabel returns the series with the given label, or nil.
+func (f *Figure) SeriesByLabel(label string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Package flow computes max-min fair rate allocations for flows sharing
+// capacitated resources — the fluid counterpart of the paper's bounded
+// multi-port model. The stream engine uses it to share NIC and link
+// bandwidth among concurrent transfers.
+package flow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Flow describes one flow: the resources it crosses (indices into the
+// capacity vector; a flow consumes its rate on each of them simultaneously,
+// as a transfer does on the sender NIC, the link, and the receiver NIC)
+// and an optional rate ceiling (Demand <= 0 means unbounded).
+type Flow struct {
+	Resources []int
+	Demand    float64
+}
+
+// MaxMin returns the max-min fair rates for the flows given per-resource
+// capacities, via progressive filling: all unfrozen flows grow at the same
+// rate; a flow freezes when it hits its demand or when one of its
+// resources saturates.
+func MaxMin(capacity []float64, flows []Flow) ([]float64, error) {
+	for r, c := range capacity {
+		if c < 0 || math.IsNaN(c) {
+			return nil, fmt.Errorf("flow: resource %d has invalid capacity %v", r, c)
+		}
+	}
+	for i, f := range flows {
+		for _, r := range f.Resources {
+			if r < 0 || r >= len(capacity) {
+				return nil, fmt.Errorf("flow: flow %d crosses invalid resource %d", i, r)
+			}
+		}
+	}
+
+	rates := make([]float64, len(flows))
+	active := make([]bool, len(flows))
+	residual := append([]float64(nil), capacity...)
+	nActive := 0
+	for i, f := range flows {
+		if len(f.Resources) == 0 && f.Demand <= 0 {
+			return nil, fmt.Errorf("flow: flow %d is unbounded (no resources, no demand)", i)
+		}
+		active[i] = true
+		nActive++
+	}
+
+	for nActive > 0 {
+		// Count active flows per resource.
+		count := make([]int, len(capacity))
+		for i, f := range flows {
+			if !active[i] {
+				continue
+			}
+			for _, r := range f.Resources {
+				count[r]++
+			}
+		}
+		// The common growth increment lambda is limited by the tightest
+		// resource share and by the nearest demand ceiling.
+		lambda := math.Inf(1)
+		for r := range capacity {
+			if count[r] > 0 {
+				if share := residual[r] / float64(count[r]); share < lambda {
+					lambda = share
+				}
+			}
+		}
+		for i, f := range flows {
+			if active[i] && f.Demand > 0 {
+				if room := f.Demand - rates[i]; room < lambda {
+					lambda = room
+				}
+			}
+		}
+		if math.IsInf(lambda, 1) {
+			return nil, fmt.Errorf("flow: unbounded allocation")
+		}
+		if lambda < 0 {
+			lambda = 0
+		}
+		// Grow, charge resources, freeze.
+		for i, f := range flows {
+			if !active[i] {
+				continue
+			}
+			rates[i] += lambda
+			for _, r := range f.Resources {
+				residual[r] -= lambda
+			}
+		}
+		frozenThisRound := 0
+		for i, f := range flows {
+			if !active[i] {
+				continue
+			}
+			frozen := false
+			if f.Demand > 0 && rates[i] >= f.Demand-1e-12 {
+				frozen = true
+			}
+			for _, r := range f.Resources {
+				if residual[r] <= 1e-12 {
+					frozen = true
+				}
+			}
+			if frozen {
+				active[i] = false
+				nActive--
+				frozenThisRound++
+			}
+		}
+		if frozenThisRound == 0 {
+			// lambda was positive yet nothing froze: numerically stuck.
+			return nil, fmt.Errorf("flow: progressive filling stalled")
+		}
+	}
+	return rates, nil
+}
+
+// Utilization returns how much of each resource the given rates consume.
+func Utilization(capacity []float64, flows []Flow, rates []float64) []float64 {
+	used := make([]float64, len(capacity))
+	for i, f := range flows {
+		for _, r := range f.Resources {
+			used[r] += rates[i]
+		}
+	}
+	return used
+}

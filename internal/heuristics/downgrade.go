@@ -1,0 +1,29 @@
+package heuristics
+
+import (
+	"fmt"
+
+	"repro/internal/mapping"
+)
+
+// Downgrade replaces every purchased processor with the cheapest catalog
+// configuration that still sustains its compute load (constraint (1)) and
+// NIC load (constraint (2)). Loads are unchanged by the swap, so a
+// feasible mapping stays feasible; the paper runs this as a third step
+// after server selection, except under CONSTR-HOM where there is a single
+// configuration anyway.
+func Downgrade(m *mapping.Mapping) error {
+	cat := m.Inst.Platform.Catalog
+	for _, p := range m.AliveProcs() {
+		cfg, ok := cat.CheapestFitting(m.ComputeLoad(p), m.NICLoad(p))
+		if !ok {
+			// Cannot happen for a feasible mapping: the current
+			// configuration itself fits.
+			return fmt.Errorf("downgrade: no configuration sustains processor %d", p)
+		}
+		if cat.Cost(cfg) <= cat.Cost(m.Procs[p].Config) {
+			m.Procs[p].Config = cfg
+		}
+	}
+	return nil
+}

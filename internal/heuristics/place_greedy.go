@@ -1,0 +1,162 @@
+package heuristics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/instance"
+	"repro/internal/mapping"
+)
+
+// CompGreedy is the paper's computation-greedy heuristic: operators are
+// taken in non-increasing order of w_i; each outer round acquires the most
+// expensive processor, seeds it with the most computationally demanding
+// unassigned operator (grouping with a neighbour when it does not fit
+// alone), then packs as many further operators as possible, again by
+// non-increasing w_i.
+type CompGreedy struct{}
+
+// Name implements Heuristic.
+func (CompGreedy) Name() string { return "Comp-Greedy" }
+
+// Place implements Heuristic.
+func (CompGreedy) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mapping, error) {
+	m := mapping.New(in)
+	order := opsByWorkDesc(in)
+	for {
+		seed := -1
+		for _, op := range order {
+			if m.OpProc(op) == mapping.Unassigned {
+				seed = op
+				break
+			}
+		}
+		if seed < 0 {
+			return m, nil
+		}
+		p := buyMostExpensive(m)
+		if err := placeWithGrouping(m, p, seed); err != nil {
+			return nil, err
+		}
+		for _, op := range order {
+			if m.OpProc(op) == mapping.Unassigned {
+				m.TryPlace(p, op) // best effort: skip operators that do not fit
+			}
+		}
+	}
+}
+
+// opsByWorkDesc returns all operator indices by non-increasing w_i
+// (ties: smaller index first).
+func opsByWorkDesc(in *instance.Instance) []int {
+	order := make([]int, in.Tree.NumOps())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		wa, wb := in.W[order[a]], in.W[order[b]]
+		if wa != wb {
+			return wa > wb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// CommGreedy is the paper's communication-greedy heuristic: tree edges are
+// taken in non-increasing order of steady-state traffic and the two
+// endpoint operators are grouped on one processor whenever possible,
+// saving the costly inter-processor communication.
+type CommGreedy struct{}
+
+// Name implements Heuristic.
+func (CommGreedy) Name() string { return "Comm-Greedy" }
+
+// Place implements Heuristic.
+func (CommGreedy) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mapping, error) {
+	m := mapping.New(in)
+	configs := configsByCost(in.Platform.Catalog)
+
+	buyCheapestFor := func(ops ...int) bool {
+		return buyCheapestHosting(m, configs, ops...)
+	}
+	buyBestFor := func(op int) error {
+		p := buyMostExpensive(m)
+		return placeWithGrouping(m, p, op)
+	}
+
+	edges := in.Tree.Edges()
+	sort.Slice(edges, func(a, b int) bool {
+		ta, tb := in.EdgeTraffic(edges[a].Child), in.EdgeTraffic(edges[b].Child)
+		if ta != tb {
+			return ta > tb
+		}
+		if edges[a].Child != edges[b].Child {
+			return edges[a].Child < edges[b].Child
+		}
+		return edges[a].Parent < edges[b].Parent
+	})
+
+	for _, e := range edges {
+		pu, pv := m.OpProc(e.Parent), m.OpProc(e.Child)
+		switch {
+		case pu == mapping.Unassigned && pv == mapping.Unassigned:
+			// (i) both unassigned: cheapest processor hosting both, else
+			// the most expensive processor for each.
+			if buyCheapestFor(e.Parent, e.Child) {
+				continue
+			}
+			if err := buyBestFor(e.Parent); err != nil {
+				return nil, err
+			}
+			if err := buyBestFor(e.Child); err != nil {
+				return nil, err
+			}
+		case pu == mapping.Unassigned || pv == mapping.Unassigned:
+			// (ii) one assigned: try to accommodate the other on the same
+			// processor, else most expensive processor for it.
+			assignedProc, other := pu, e.Child
+			if pu == mapping.Unassigned {
+				assignedProc, other = pv, e.Parent
+			}
+			if m.TryPlace(assignedProc, other) {
+				continue
+			}
+			if err := buyBestFor(other); err != nil {
+				return nil, err
+			}
+		case pu != pv:
+			// (iii) both assigned on different processors: try to merge
+			// one processor's operators onto the other and sell it; keep
+			// the current assignment when neither direction works.
+			if !mergeProcs(m, pv, pu) {
+				mergeProcs(m, pu, pv)
+			}
+		}
+	}
+	// A single-operator tree has no edges; place the lone operator.
+	for op := range in.Tree.Ops {
+		if m.OpProc(op) == mapping.Unassigned {
+			if !buyCheapestFor(op) {
+				return nil, fmt.Errorf("operator %d fits no processor: %w", op, ErrInfeasible)
+			}
+		}
+	}
+	return m, nil
+}
+
+// mergeProcs tries to move every operator of processor from onto processor
+// to; on success from is sold and true returned, otherwise nothing
+// changes.
+func mergeProcs(m *mapping.Mapping, from, to int) bool {
+	if from == to {
+		return false
+	}
+	ops := m.OpsOn(from)
+	if !m.TryPlace(to, ops...) {
+		return false
+	}
+	m.Sell(from)
+	return true
+}

@@ -1,0 +1,208 @@
+package heuristics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/instance"
+	"repro/internal/mapping"
+)
+
+// ObjectGrouping is the paper's object-popularity heuristic: it counts how
+// many operators need each basic object ("popularity"), sorts al-operators
+// by non-increasing summed popularity of their objects, and packs each new
+// most-expensive processor with a seed al-operator, then al-operators
+// sharing its objects, then as many other operators as possible.
+type ObjectGrouping struct{}
+
+// Name implements Heuristic.
+func (ObjectGrouping) Name() string { return "Object-Grouping" }
+
+// Place implements Heuristic.
+func (ObjectGrouping) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mapping, error) {
+	m := mapping.New(in)
+	pop := in.Tree.Popularity(in.NumTypes)
+
+	alOrder := in.Tree.ALOperators()
+	popSum := func(op int) int {
+		s := 0
+		for _, k := range in.Tree.LeafObjects(op) {
+			s += pop[k]
+		}
+		return s
+	}
+	sort.Slice(alOrder, func(a, b int) bool {
+		sa, sb := popSum(alOrder[a]), popSum(alOrder[b])
+		if sa != sb {
+			return sa > sb
+		}
+		return alOrder[a] < alOrder[b]
+	})
+	nonAL := opsByWorkDesc(in)
+
+	for {
+		seed := -1
+		for _, op := range alOrder {
+			if m.OpProc(op) == mapping.Unassigned {
+				seed = op
+				break
+			}
+		}
+		if seed < 0 {
+			break
+		}
+		p := buyMostExpensive(m)
+		if err := placeWithGrouping(m, p, seed); err != nil {
+			return nil, fmt.Errorf("al-operator %d: %w", seed, err)
+		}
+		seedObjs := map[int]bool{}
+		for _, k := range in.Tree.LeafObjects(seed) {
+			seedObjs[k] = true
+		}
+		// Other al-operators requiring the same basic objects, by
+		// non-increasing popularity.
+		for _, op := range alOrder {
+			if m.OpProc(op) != mapping.Unassigned {
+				continue
+			}
+			shares := false
+			for _, k := range in.Tree.LeafObjects(op) {
+				if seedObjs[k] {
+					shares = true
+				}
+			}
+			if shares {
+				m.TryPlace(p, op)
+			}
+		}
+		// Then as many non al-operators as possible.
+		for _, op := range nonAL {
+			if m.OpProc(op) == mapping.Unassigned && !in.Tree.IsAL(op) {
+				m.TryPlace(p, op)
+			}
+		}
+	}
+
+	// Any remaining operators (non-al ones that fit nowhere yet): keep
+	// buying most-expensive processors and packing by non-increasing w_i.
+	for {
+		seed := -1
+		for _, op := range nonAL {
+			if m.OpProc(op) == mapping.Unassigned {
+				seed = op
+				break
+			}
+		}
+		if seed < 0 {
+			return m, nil
+		}
+		p := buyMostExpensive(m)
+		if err := placeWithGrouping(m, p, seed); err != nil {
+			return nil, err
+		}
+		for _, op := range nonAL {
+			if m.OpProc(op) == mapping.Unassigned {
+				m.TryPlace(p, op)
+			}
+		}
+	}
+}
+
+// ObjectAvailability is the paper's replication-aware heuristic: object
+// types are taken in increasing order of availability av_k (the number of
+// servers holding them) and, for each, as many al-operators downloading
+// that object as possible are packed onto most-expensive processors; the
+// remaining operators are then assigned like Comp-Greedy, by
+// non-increasing w_i.
+type ObjectAvailability struct{}
+
+// Name implements Heuristic.
+func (ObjectAvailability) Name() string { return "Object-Availability" }
+
+// Place implements Heuristic.
+func (ObjectAvailability) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mapping, error) {
+	m := mapping.New(in)
+
+	objs := in.Tree.ObjectSet()
+	sort.Slice(objs, func(a, b int) bool {
+		aa, ab := in.Availability(objs[a]), in.Availability(objs[b])
+		if aa != ab {
+			return aa < ab
+		}
+		return objs[a] < objs[b]
+	})
+
+	needsObj := func(op, k int) bool {
+		for _, x := range in.Tree.LeafObjects(op) {
+			if x == k {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, k := range objs {
+		for {
+			// Collect still-unassigned al-operators that download k.
+			var pending []int
+			for _, op := range in.Tree.ALOperators() {
+				if m.OpProc(op) == mapping.Unassigned && needsObj(op, k) {
+					pending = append(pending, op)
+				}
+			}
+			if len(pending) == 0 {
+				break
+			}
+			p := buyMostExpensive(m)
+			placedAny := false
+			for _, op := range pending {
+				if m.TryPlace(p, op) {
+					placedAny = true
+				}
+			}
+			if !placedAny {
+				// The whole batch failed on a fresh processor; fall back
+				// to the grouping technique for the first operator.
+				if err := placeWithGrouping(m, p, pending[0]); err != nil {
+					return nil, fmt.Errorf("al-operator %d (object %d): %w", pending[0], k, err)
+				}
+			}
+		}
+	}
+
+	// Remaining internal operators: Comp-Greedy style.
+	order := opsByWorkDesc(in)
+	for {
+		seed := -1
+		for _, op := range order {
+			if m.OpProc(op) == mapping.Unassigned {
+				seed = op
+				break
+			}
+		}
+		if seed < 0 {
+			return m, nil
+		}
+		// First try to pack onto an existing processor (the one with which
+		// the operator communicates most, then any other).
+		if p := bestExistingProc(m, seed); p >= 0 && m.TryPlace(p, seed) {
+			continue
+		}
+		p := buyMostExpensive(m)
+		if err := placeWithGrouping(m, p, seed); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// bestExistingProc returns the alive processor hosting the neighbour of op
+// with the largest shared traffic, or -1 when no neighbour is assigned.
+func bestExistingProc(m *mapping.Mapping, op int) int {
+	for _, nb := range neighbours(m.Inst, op) {
+		if p := m.OpProc(nb.op); p != mapping.Unassigned {
+			return p
+		}
+	}
+	return -1
+}

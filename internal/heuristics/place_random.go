@@ -1,0 +1,69 @@
+package heuristics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/instance"
+	"repro/internal/mapping"
+)
+
+// Random is the paper's baseline heuristic: it repeatedly picks a random
+// unassigned operator and acquires the cheapest processor able to handle
+// it; when no single processor can, the operator is grouped with the
+// neighbour sharing its most demanding communication requirement
+// (detaching that neighbour from any processor it was already on, selling
+// the processor if emptied).
+type Random struct{}
+
+// Name implements Heuristic.
+func (Random) Name() string { return "Random" }
+
+// Place implements Heuristic.
+func (Random) Place(in *instance.Instance, r *rand.Rand) (*mapping.Mapping, error) {
+	m := mapping.New(in)
+	configs := configsByCost(in.Platform.Catalog)
+
+	unassigned := func() []int {
+		var out []int
+		for op := range in.Tree.Ops {
+			if m.OpProc(op) == mapping.Unassigned {
+				out = append(out, op)
+			}
+		}
+		return out
+	}
+
+	buyCheapestFor := func(ops ...int) bool {
+		return buyCheapestHosting(m, configs, ops...)
+	}
+
+	for {
+		rest := unassigned()
+		if len(rest) == 0 {
+			return m, nil
+		}
+		op := rest[r.Intn(len(rest))]
+		if buyCheapestFor(op) {
+			continue
+		}
+		// Group with the most communication-demanding neighbour.
+		nbs := neighbours(in, op)
+		if len(nbs) == 0 {
+			return nil, fmt.Errorf("operator %d fits no processor: %w", op, ErrInfeasible)
+		}
+		nb := nbs[0]
+		was := m.OpProc(nb.op)
+		detachOp(m, nb.op)
+		if buyCheapestFor(op, nb.op) {
+			continue
+		}
+		if was != mapping.Unassigned {
+			if !m.Procs[was].Alive {
+				was = m.Buy(m.Procs[was].Config)
+			}
+			m.Place(nb.op, was)
+		}
+		return nil, fmt.Errorf("operators %d+%d fit no processor together: %w", op, nb.op, ErrInfeasible)
+	}
+}

@@ -1,0 +1,118 @@
+package heuristics
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/instance"
+	"repro/internal/mapping"
+)
+
+// SubtreeBottomUp is the paper's best-performing heuristic: it first
+// acquires one most-expensive processor per al-operator, then walks the
+// tree bottom-up, merging each operator with the processor of one of its
+// children (preferring the child with the most demanding communication)
+// and opportunistically folding whole child processors together, returning
+// the processors this empties.
+//
+// DisableFold keeps the per-operator merges but skips the wholesale
+// folding of sibling processors; this mimics the more conservative merging
+// the paper's cost curves suggest (ablation A3 in DESIGN.md) at the price
+// of buying roughly one processor per al-operator.
+type SubtreeBottomUp struct {
+	DisableFold bool
+}
+
+// Name implements Heuristic.
+func (h SubtreeBottomUp) Name() string {
+	if h.DisableFold {
+		return "Subtree-bottom-up-nofold"
+	}
+	return "Subtree-bottom-up"
+}
+
+// Place implements Heuristic.
+func (h SubtreeBottomUp) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mapping, error) {
+	m := mapping.New(in)
+
+	// Step 1: one most-expensive processor per al-operator. When an
+	// al-operator is adjacent to an already-placed one and the shared edge
+	// exceeds the processor links, the grouping fallback co-locates them.
+	for _, op := range in.Tree.ALOperators() {
+		p := buyMostExpensive(m)
+		if err := placeWithGrouping(m, p, op); err != nil {
+			return nil, fmt.Errorf("al-operator %d: %w", op, err)
+		}
+	}
+
+	// Step 2: bottom-up, place each remaining operator with one of its
+	// children, merging sibling processors whenever that fits.
+	for _, op := range in.Tree.BottomUp() {
+		if m.OpProc(op) != mapping.Unassigned {
+			// Already placed (al-operator); still try to fold the
+			// processors of its operator children into this one.
+			if !h.DisableFold {
+				mergeChildren(m, op)
+			}
+			continue
+		}
+		children := append([]int(nil), in.Tree.Ops[op].ChildOps...)
+		// Prefer the child with the largest edge traffic.
+		sort.Slice(children, func(a, b int) bool {
+			ta, tb := in.EdgeTraffic(children[a]), in.EdgeTraffic(children[b])
+			if ta != tb {
+				return ta > tb
+			}
+			return children[a] < children[b]
+		})
+		placed := false
+		for _, c := range children {
+			p := m.OpProc(c)
+			if p == mapping.Unassigned {
+				continue
+			}
+			if m.TryPlace(p, op) {
+				placed = true
+				break
+			}
+			if h.DisableFold {
+				continue
+			}
+			// The blocking constraint is usually the edge to the other
+			// child's processor; fold that processor in first and retry.
+			for _, other := range children {
+				if q := m.OpProc(other); other != c && q != mapping.Unassigned && q != p {
+					mergeProcs(m, q, p)
+				}
+			}
+			if m.TryPlace(p, op) {
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			p := buyMostExpensive(m)
+			if !m.TryPlace(p, op) {
+				m.Sell(p)
+				return nil, fmt.Errorf("operator %d fits no processor: %w", op, ErrInfeasible)
+			}
+		}
+		if !h.DisableFold {
+			mergeChildren(m, op)
+		}
+	}
+	return m, nil
+}
+
+// mergeChildren tries to fold the processors hosting op's operator
+// children into op's processor (selling the emptied ones). Children hosted
+// on op's own processor are already merged.
+func mergeChildren(m *mapping.Mapping, op int) {
+	p := m.OpProc(op)
+	for _, c := range m.Inst.Tree.Ops[op].ChildOps {
+		if q := m.OpProc(c); q != mapping.Unassigned && q != p {
+			mergeProcs(m, q, p)
+		}
+	}
+}

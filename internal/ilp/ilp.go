@@ -1,0 +1,335 @@
+// Package ilp builds the paper's integer-linear-programming formulation of
+// the homogeneous operator-placement problem and solves it by
+// branch-and-bound over the LP relaxation (package lp plays CPLEX).
+//
+// Faithful to the paper's Section 3, the formulation covers the assignment
+// (x_iu), processor-usage (z_u) and download (d_ukl) variables with the
+// compute, download-cover, processor-NIC, server-NIC and server-link
+// constraints. Like the paper, which could not even load the full model
+// for 30-operator trees into CPLEX, the model size explodes quickly;
+// Build returns ErrTooLarge beyond a variable budget, and the
+// inter-processor communication terms are omitted from the NIC constraint
+// (a relaxation), so the ILP optimum is a certified lower bound on the
+// true optimal cost. On the small instances the paper evaluates, the
+// optimum co-locates whole subtrees and the bound is typically exact.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/instance"
+	"repro/internal/lp"
+	"repro/internal/platform"
+)
+
+// ErrHeterogeneous is returned for non-CONSTR-HOM catalogs.
+var ErrHeterogeneous = errors.New("ilp: catalog is not homogeneous (CONSTR-HOM required)")
+
+// ErrTooLarge is returned when the formulation exceeds MaxVariables —
+// the same wall the paper hit with CPLEX.
+var ErrTooLarge = errors.New("ilp: formulation too large")
+
+// ErrBudget is returned when branch-and-bound exhausts its node budget.
+var ErrBudget = errors.New("ilp: node budget exhausted")
+
+// MaxVariables bounds the model size Build accepts.
+const MaxVariables = 4000
+
+// Model is a built formulation.
+type Model struct {
+	Prob     *lp.Problem
+	NumVars  int
+	NumRows  int
+	unitCost float64
+	// Variable layout.
+	numOps   int
+	maxProcs int
+	xBase    int            // x_iu at xBase + i*maxProcs + u
+	zBase    int            // z_u at zBase + u
+	dIndex   map[[3]int]int // (u, k, l) -> column of d_ukl
+	binaries []int          // all binary columns
+}
+
+// Build constructs the formulation with at most maxProcs processors.
+func Build(in *instance.Instance, maxProcs int) (*Model, error) {
+	if !in.Platform.Catalog.Homogeneous() {
+		return nil, ErrHeterogeneous
+	}
+	if maxProcs < 1 {
+		return nil, fmt.Errorf("ilp: maxProcs = %d", maxProcs)
+	}
+	cat := in.Platform.Catalog
+	cfg := platform.Config{}
+	speed := cat.SpeedUnits(cfg)
+	nicBW := cat.BandwidthMBps(cfg)
+
+	n := in.Tree.NumOps()
+	used := in.Tree.ObjectSet()
+
+	m := &Model{
+		numOps:   n,
+		maxProcs: maxProcs,
+		unitCost: cat.Cost(cfg),
+		dIndex:   map[[3]int]int{},
+	}
+	m.xBase = 0
+	m.zBase = n * maxProcs
+	next := m.zBase + maxProcs
+	for u := 0; u < maxProcs; u++ {
+		for _, k := range used {
+			for _, l := range in.Holders[k] {
+				m.dIndex[[3]int{u, k, l}] = next
+				next++
+			}
+		}
+	}
+	m.NumVars = next
+	if m.NumVars > MaxVariables {
+		return nil, fmt.Errorf("%w: %d variables (max %d)", ErrTooLarge, m.NumVars, MaxVariables)
+	}
+
+	var (
+		rows [][]float64
+		rhs  []float64
+		rel  []lp.Rel
+	)
+	addRow := func(coef map[int]float64, r lp.Rel, b float64) {
+		row := make([]float64, m.NumVars)
+		for j, v := range coef {
+			row[j] = v
+		}
+		rows = append(rows, row)
+		rhs = append(rhs, b)
+		rel = append(rel, r)
+	}
+	x := func(i, u int) int { return m.xBase + i*maxProcs + u }
+	z := func(u int) int { return m.zBase + u }
+
+	// (a) every operator on exactly one processor.
+	for i := 0; i < n; i++ {
+		coef := map[int]float64{}
+		for u := 0; u < maxProcs; u++ {
+			coef[x(i, u)] = 1
+		}
+		addRow(coef, lp.EQ, 1)
+	}
+	// (b) x_iu <= z_u.
+	for i := 0; i < n; i++ {
+		for u := 0; u < maxProcs; u++ {
+			addRow(map[int]float64{x(i, u): 1, z(u): -1}, lp.LE, 0)
+		}
+	}
+	// (c) compute: sum_i rho w_i x_iu <= s z_u.
+	for u := 0; u < maxProcs; u++ {
+		coef := map[int]float64{z(u): -speed}
+		for i := 0; i < n; i++ {
+			coef[x(i, u)] = in.Rho * in.W[i]
+		}
+		addRow(coef, lp.LE, 0)
+	}
+	// (d) download cover: operator i on u with leaf object k implies a
+	// download of k on u from some holder.
+	for i := 0; i < n; i++ {
+		for _, k := range in.Tree.LeafObjects(i) {
+			for u := 0; u < maxProcs; u++ {
+				coef := map[int]float64{x(i, u): 1}
+				for _, l := range in.Holders[k] {
+					coef[m.dIndex[[3]int{u, k, l}]] = -1
+				}
+				addRow(coef, lp.LE, 0)
+			}
+		}
+	}
+	// (e) processor NIC (downloads; communication omitted — relaxation).
+	for u := 0; u < maxProcs; u++ {
+		coef := map[int]float64{z(u): -nicBW}
+		for _, k := range used {
+			for _, l := range in.Holders[k] {
+				coef[m.dIndex[[3]int{u, k, l}]] += in.Rate(k)
+			}
+		}
+		addRow(coef, lp.LE, 0)
+	}
+	// (f) server NIC.
+	for l := range in.Platform.Servers {
+		coef := map[int]float64{}
+		for u := 0; u < maxProcs; u++ {
+			for _, k := range used {
+				if j, ok := m.dIndex[[3]int{u, k, l}]; ok {
+					coef[j] += in.Rate(k)
+				}
+			}
+		}
+		if len(coef) > 0 {
+			addRow(coef, lp.LE, in.Platform.Servers[l].NICMBps)
+		}
+	}
+	// (g) server-processor links.
+	for u := 0; u < maxProcs; u++ {
+		for l := range in.Platform.Servers {
+			coef := map[int]float64{}
+			for _, k := range used {
+				if j, ok := m.dIndex[[3]int{u, k, l}]; ok {
+					coef[j] += in.Rate(k)
+				}
+			}
+			if len(coef) > 0 {
+				addRow(coef, lp.LE, in.Platform.ServerLinkMBps)
+			}
+		}
+	}
+	// (h) symmetry breaking and binary upper bounds.
+	for u := 0; u+1 < maxProcs; u++ {
+		addRow(map[int]float64{z(u + 1): 1, z(u): -1}, lp.LE, 0)
+	}
+	for u := 0; u < maxProcs; u++ {
+		addRow(map[int]float64{z(u): 1}, lp.LE, 1)
+	}
+	for _, j := range m.dIndex {
+		addRow(map[int]float64{j: 1}, lp.LE, 1)
+	}
+
+	c := make([]float64, m.NumVars)
+	for u := 0; u < maxProcs; u++ {
+		c[z(u)] = 1
+	}
+	m.Prob = &lp.Problem{C: c, A: rows, B: rhs, Rel: rel}
+	m.NumRows = len(rows)
+
+	for i := 0; i < n; i++ {
+		for u := 0; u < maxProcs; u++ {
+			m.binaries = append(m.binaries, x(i, u))
+		}
+	}
+	for u := 0; u < maxProcs; u++ {
+		m.binaries = append(m.binaries, z(u))
+	}
+	for _, j := range m.dIndex {
+		m.binaries = append(m.binaries, j)
+	}
+	return m, nil
+}
+
+// RelaxationLB solves the LP relaxation and returns a lower bound on the
+// optimal platform cost in dollars (unit cost times the fractional
+// processor count, rounded up to the next integer processor).
+func (m *Model) RelaxationLB() (float64, error) {
+	sol, err := lp.Solve(m.Prob)
+	if err != nil {
+		return 0, err
+	}
+	if sol.Status != lp.Optimal {
+		return 0, fmt.Errorf("ilp: relaxation %v", sol.Status)
+	}
+	procs := math.Ceil(sol.Objective - 1e-6)
+	if procs < 1 {
+		procs = 1
+	}
+	return procs * m.unitCost, nil
+}
+
+// Limits bounds the branch-and-bound search.
+type Limits struct {
+	MaxNodes int // 0 means DefaultMaxNodes
+}
+
+// DefaultMaxNodes caps branch-and-bound.
+const DefaultMaxNodes = 20000
+
+// Result of an ILP solve.
+type Result struct {
+	Procs  int
+	Cost   float64
+	Nodes  int
+	Proven bool
+}
+
+// branchBound is one stacked subproblem: variable bounds fixed so far.
+type fixing struct {
+	col int
+	val float64 // 0 or 1
+}
+
+// Solve runs depth-first branch-and-bound on the model's binaries.
+func (m *Model) Solve(lim Limits) (*Result, error) {
+	maxNodes := lim.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	bestObj := math.Inf(1)
+	nodes := 0
+	budgetHit := false
+
+	var rec func(fixings []fixing)
+	rec = func(fixings []fixing) {
+		if budgetHit {
+			return
+		}
+		nodes++
+		if nodes > maxNodes {
+			budgetHit = true
+			return
+		}
+		prob := m.withFixings(fixings)
+		sol, err := lp.Solve(prob)
+		if err != nil || sol.Status != lp.Optimal {
+			return
+		}
+		if sol.Objective >= bestObj-1e-6 {
+			return
+		}
+		// Most fractional binary.
+		branch := -1
+		bestFrac := 1e-6
+		for _, j := range m.binaries {
+			f := math.Abs(sol.X[j] - math.Round(sol.X[j]))
+			if f > bestFrac {
+				bestFrac = f
+				branch = j
+			}
+		}
+		if branch == -1 {
+			if sol.Objective < bestObj {
+				bestObj = sol.Objective
+			}
+			return
+		}
+		// Explore the rounded-up side first: using a processor tends to be
+		// necessary, and finding integer solutions early tightens pruning.
+		rec(append(fixings, fixing{branch, 1}))
+		rec(append(fixings, fixing{branch, 0}))
+	}
+	rec(nil)
+
+	if math.IsInf(bestObj, 1) {
+		if budgetHit {
+			return nil, ErrBudget
+		}
+		return nil, errors.New("ilp: infeasible")
+	}
+	procs := int(math.Round(bestObj))
+	return &Result{
+		Procs:  procs,
+		Cost:   float64(procs) * m.unitCost,
+		Nodes:  nodes,
+		Proven: !budgetHit,
+	}, nil
+}
+
+// withFixings returns a copy of the base problem with rows pinning the
+// fixed variables.
+func (m *Model) withFixings(fixings []fixing) *lp.Problem {
+	a := append([][]float64(nil), m.Prob.A...)
+	b := append([]float64(nil), m.Prob.B...)
+	rel := append([]lp.Rel(nil), m.Prob.Rel...)
+	for _, f := range fixings {
+		row := make([]float64, m.NumVars)
+		row[f.col] = 1
+		a = append(a, row)
+		b = append(b, f.val)
+		rel = append(rel, lp.EQ)
+	}
+	return &lp.Problem{C: m.Prob.C, A: a, B: b, Rel: rel}
+}

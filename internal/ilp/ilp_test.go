@@ -1,0 +1,140 @@
+package ilp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/instance"
+	"repro/internal/platform"
+)
+
+func tinyPlatform(cpu, nic int) *platform.Platform {
+	p := platform.DefaultPlatform()
+	p.Catalog = platform.Homogeneous(cpu, nic)
+	// Fewer servers keep the d_ukl block small.
+	p.Servers = p.Servers[:3]
+	return p
+}
+
+func tinyInstance(seed int64, alpha float64, cpu int) *instance.Instance {
+	return instance.Generate(instance.Config{
+		NumOps:   6,
+		NumTypes: 5,
+		Alpha:    alpha,
+		Platform: tinyPlatform(cpu, 4),
+	}, seed)
+}
+
+func TestRejectsHeterogeneous(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 4}, 1)
+	if _, err := Build(in, 2); !errors.Is(err, ErrHeterogeneous) {
+		t.Fatalf("want ErrHeterogeneous, got %v", err)
+	}
+}
+
+func TestTooLargeMirrorsPaper(t *testing.T) {
+	// The paper could not even load its 30-operator ILP into CPLEX; we
+	// surface the same wall as an explicit error.
+	p := platform.DefaultPlatform()
+	p.Catalog = platform.Homogeneous(4, 4)
+	in := instance.Generate(instance.Config{NumOps: 60, Platform: p}, 1)
+	if _, err := Build(in, 60); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestRelaxationIsLowerBound(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		in := tinyInstance(seed, 1.0, 4)
+		m, err := Build(in, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := m.RelaxationLB()
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := exact.Solve(in, exact.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb > opt.Cost+1e-6 {
+			t.Fatalf("seed %d: relaxation LB %v exceeds exact optimum %v", seed, lb, opt.Cost)
+		}
+		if lb < in.Platform.Catalog.Cost(platform.Config{}) {
+			t.Fatalf("seed %d: LB %v below one processor", seed, lb)
+		}
+	}
+}
+
+func TestBranchAndBoundMatchesExactSingleProc(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		in := tinyInstance(seed, 1.0, 4)
+		m, err := Build(in, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := m.Solve(Limits{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		opt, err := exact.Solve(in, exact.Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The ILP omits communication terms, so its optimum can only be
+		// at or below the exact combinatorial optimum.
+		if res.Proven && res.Procs > opt.Procs {
+			t.Fatalf("seed %d: ILP procs %d above exact %d", seed, res.Procs, opt.Procs)
+		}
+		if res.Procs < 1 {
+			t.Fatalf("seed %d: ILP procs %d", seed, res.Procs)
+		}
+	}
+}
+
+func TestMultiProcILP(t *testing.T) {
+	// Slow CPU at high alpha: the ILP must report >= 2 processors.
+	in := instance.Generate(instance.Config{
+		NumOps:   6,
+		NumTypes: 5,
+		Alpha:    2.0,
+		Platform: tinyPlatform(0, 4),
+	}, 4)
+	m, err := Build(in, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Solve(Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, w := range in.W {
+		total += in.Rho * w
+	}
+	speed := in.Platform.Catalog.SpeedUnits(platform.Config{})
+	if total > speed && res.Procs < 2 {
+		t.Fatalf("work %v exceeds one processor (%v) but ILP says %d procs", total, speed, res.Procs)
+	}
+}
+
+func TestModelShape(t *testing.T) {
+	in := tinyInstance(0, 1.0, 4)
+	m, err := Build(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumVars != len(m.Prob.C) {
+		t.Fatalf("NumVars %d != len(C) %d", m.NumVars, len(m.Prob.C))
+	}
+	if m.NumRows != len(m.Prob.A) {
+		t.Fatalf("NumRows %d != len(A) %d", m.NumRows, len(m.Prob.A))
+	}
+	// x and z variables exist for every (op, proc) pair.
+	wantMin := in.Tree.NumOps()*2 + 2
+	if m.NumVars < wantMin {
+		t.Fatalf("only %d variables, want >= %d", m.NumVars, wantMin)
+	}
+}

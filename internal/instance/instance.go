@@ -1,0 +1,252 @@
+// Package instance assembles a complete problem instance of the
+// constructive in-network stream processing problem: an operator tree, a
+// catalog of basic-object types (size, update frequency, server
+// placement), the purchasable platform, and the QoS target rho.
+//
+// Generate reproduces the simulation methodology of the paper's Section 5;
+// all randomness flows from one int64 seed through decorrelated
+// sub-streams so experiments are exactly reproducible.
+package instance
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/apptree"
+	"repro/internal/platform"
+	"repro/internal/rng"
+)
+
+// Instance is one solvable problem. W and Delta are derived from the tree,
+// the object sizes and Alpha (call Refresh after mutating any of those).
+type Instance struct {
+	Tree     *apptree.Tree
+	NumTypes int       // number of basic-object types
+	Sizes    []float64 // MB, per object type
+	Freqs    []float64 // downloads/s, per object type
+	Holders  [][]int   // per object type, the servers holding it (sorted)
+	Platform *platform.Platform
+	Rho      float64 // target application throughput (results/s)
+	Alpha    float64 // computation exponent: w_i = (delta_l+delta_r)^alpha
+
+	W     []float64 `json:"-"` // derived: work-units per operator evaluation
+	Delta []float64 `json:"-"` // derived: output size per operator (MB)
+}
+
+// Rate returns the paper's rate_k = delta_k x f_k for object type k, in
+// MB/s: the bandwidth one processor spends continuously downloading k.
+func (in *Instance) Rate(k int) float64 { return in.Sizes[k] * in.Freqs[k] }
+
+// Refresh recomputes the derived per-operator work and output sizes.
+func (in *Instance) Refresh() {
+	in.W, in.Delta = in.Tree.Derive(in.Sizes, in.Alpha)
+}
+
+// EdgeTraffic returns the steady-state traffic (MB/s) on the tree edge
+// from operator child to its parent: rho x delta_child.
+func (in *Instance) EdgeTraffic(child int) float64 {
+	return in.Rho * in.Delta[child]
+}
+
+// Availability returns av_k: how many servers hold object type k.
+func (in *Instance) Availability(k int) int { return len(in.Holders[k]) }
+
+// Validate checks cross-component consistency.
+func (in *Instance) Validate() error {
+	if in.Tree == nil {
+		return fmt.Errorf("instance: nil tree")
+	}
+	if err := in.Tree.Validate(); err != nil {
+		return err
+	}
+	if in.Platform == nil {
+		return fmt.Errorf("instance: nil platform")
+	}
+	if err := in.Platform.Validate(); err != nil {
+		return err
+	}
+	if in.NumTypes < 1 {
+		return fmt.Errorf("instance: NumTypes = %d", in.NumTypes)
+	}
+	if len(in.Sizes) != in.NumTypes || len(in.Freqs) != in.NumTypes || len(in.Holders) != in.NumTypes {
+		return fmt.Errorf("instance: per-type slice lengths disagree with NumTypes=%d", in.NumTypes)
+	}
+	for k := 0; k < in.NumTypes; k++ {
+		if in.Sizes[k] <= 0 {
+			return fmt.Errorf("instance: object %d has non-positive size", k)
+		}
+		if in.Freqs[k] <= 0 {
+			return fmt.Errorf("instance: object %d has non-positive frequency", k)
+		}
+	}
+	if in.Rho <= 0 {
+		return fmt.Errorf("instance: rho = %v", in.Rho)
+	}
+	used := map[int]bool{}
+	for _, l := range in.Tree.Leaves {
+		if l.Object >= in.NumTypes {
+			return fmt.Errorf("instance: leaf references type %d >= NumTypes %d", l.Object, in.NumTypes)
+		}
+		used[l.Object] = true
+	}
+	for k := range in.Holders {
+		prev := -1
+		for _, s := range in.Holders[k] {
+			if s < 0 || s >= len(in.Platform.Servers) {
+				return fmt.Errorf("instance: object %d held by invalid server %d", k, s)
+			}
+			if s <= prev {
+				return fmt.Errorf("instance: holders of object %d not sorted/unique", k)
+			}
+			prev = s
+		}
+		if used[k] && len(in.Holders[k]) == 0 {
+			return fmt.Errorf("instance: object %d used by the tree but held by no server", k)
+		}
+	}
+	if len(in.W) != in.Tree.NumOps() || len(in.Delta) != in.Tree.NumOps() {
+		return fmt.Errorf("instance: derived W/Delta stale; call Refresh")
+	}
+	return nil
+}
+
+// Config parameterizes Generate, mirroring the knobs varied in Section 5.
+type Config struct {
+	NumOps     int                // operators in the tree (the paper's N)
+	NumTypes   int                // distinct basic-object types (paper: 15)
+	SizeMin    float64            // MB (paper: 5 or 450)
+	SizeMax    float64            // MB (paper: 30 or 530)
+	Freq       float64            // downloads/s for every type (paper: 1/2 or 1/50)
+	Alpha      float64            // computation exponent
+	Rho        float64            // target throughput (paper: 1)
+	MinHolders int                // min servers holding each type (default 1)
+	MaxHolders int                // max servers holding each type (default 3)
+	Platform   *platform.Platform // nil means platform.DefaultPlatform()
+}
+
+// PaperDefaults fills the unset fields of a Config with the paper's
+// Section 5 values: 15 object types, small objects (5-30 MB), high
+// frequency (1/2 s), rho = 1, 1-3 holders per type, default platform.
+func (c Config) PaperDefaults() Config {
+	if c.NumTypes == 0 {
+		c.NumTypes = 15
+	}
+	if c.SizeMin == 0 && c.SizeMax == 0 {
+		c.SizeMin, c.SizeMax = 5, 30
+	}
+	if c.Freq == 0 {
+		c.Freq = 0.5
+	}
+	if c.Rho == 0 {
+		c.Rho = 1
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1
+	}
+	if c.MinHolders == 0 {
+		c.MinHolders = 1
+	}
+	if c.MaxHolders == 0 {
+		c.MaxHolders = 3
+	}
+	if c.Platform == nil {
+		c.Platform = platform.DefaultPlatform()
+	}
+	return c
+}
+
+// Generate builds a random instance from cfg and seed. Tree shape, object
+// sizes and server placement come from independent sub-streams, so e.g.
+// changing NumOps does not reshuffle the per-type sizes.
+func Generate(cfg Config, seed int64) *Instance {
+	cfg = cfg.PaperDefaults()
+	if cfg.NumOps < 1 {
+		panic("instance: Config.NumOps must be >= 1")
+	}
+	if cfg.MinHolders < 1 || cfg.MaxHolders < cfg.MinHolders {
+		panic("instance: invalid holder range")
+	}
+	numServers := len(cfg.Platform.Servers)
+	if cfg.MaxHolders > numServers {
+		cfg.MaxHolders = numServers
+	}
+
+	treeRand := rng.Derive(seed, "tree")
+	sizeRand := rng.Derive(seed, "sizes")
+	placeRand := rng.Derive(seed, "placement")
+
+	in := &Instance{
+		Tree:     apptree.Random(treeRand, cfg.NumOps, cfg.NumTypes),
+		NumTypes: cfg.NumTypes,
+		Sizes:    make([]float64, cfg.NumTypes),
+		Freqs:    make([]float64, cfg.NumTypes),
+		Holders:  make([][]int, cfg.NumTypes),
+		Platform: cfg.Platform,
+		Rho:      cfg.Rho,
+		Alpha:    cfg.Alpha,
+	}
+	for k := 0; k < cfg.NumTypes; k++ {
+		in.Sizes[k] = rng.UniformIn(sizeRand, cfg.SizeMin, cfg.SizeMax)
+		in.Freqs[k] = cfg.Freq
+		n := cfg.MinHolders
+		if cfg.MaxHolders > cfg.MinHolders {
+			n += placeRand.Intn(cfg.MaxHolders - cfg.MinHolders + 1)
+		}
+		h := rng.PickDistinct(placeRand, numServers, n)
+		sortInts(h)
+		in.Holders[k] = h
+	}
+	in.Refresh()
+	return in
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// MarshalJSON / UnmarshalJSON round-trip an instance; derived fields are
+// recomputed on load.
+
+type instanceJSON struct {
+	Tree     *apptree.Tree
+	NumTypes int
+	Sizes    []float64
+	Freqs    []float64
+	Holders  [][]int
+	Platform *platform.Platform
+	Rho      float64
+	Alpha    float64
+}
+
+// MarshalJSON implements json.Marshaler.
+func (in *Instance) MarshalJSON() ([]byte, error) {
+	return json.Marshal(instanceJSON{
+		Tree: in.Tree, NumTypes: in.NumTypes, Sizes: in.Sizes,
+		Freqs: in.Freqs, Holders: in.Holders, Platform: in.Platform,
+		Rho: in.Rho, Alpha: in.Alpha,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler and recomputes derived fields.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var aux instanceJSON
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	in.Tree = aux.Tree
+	in.NumTypes = aux.NumTypes
+	in.Sizes = aux.Sizes
+	in.Freqs = aux.Freqs
+	in.Holders = aux.Holders
+	in.Platform = aux.Platform
+	in.Rho = aux.Rho
+	in.Alpha = aux.Alpha
+	if in.Tree != nil && len(in.Sizes) > 0 {
+		in.Refresh()
+	}
+	return nil
+}

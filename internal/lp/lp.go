@@ -1,0 +1,302 @@
+// Package lp implements a small dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	minimize    c'x
+//	subject to  a_i'x  (<= | = | >=)  b_i      for every row i
+//	            x >= 0
+//
+// It substitutes for the commercial CPLEX solver the paper used: the
+// instances arising from the paper's experiments are tiny (tens of rows),
+// so numerical sophistication is unnecessary — the solver favours
+// robustness (Bland's anti-cycling rule after a degeneracy streak,
+// explicit infeasibility/unboundedness detection) over speed.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is a row relation.
+type Rel int
+
+// Row relations.
+const (
+	LE Rel = iota // a'x <= b
+	EQ            // a'x  = b
+	GE            // a'x >= b
+)
+
+// Problem is an LP in the package form. All rows must have len(C) columns.
+type Problem struct {
+	C   []float64   // objective coefficients (minimized)
+	A   [][]float64 // constraint matrix
+	B   []float64   // right-hand sides
+	Rel []Rel       // row relations
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of a successful Solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // primal values, len == len(Problem.C)
+	Objective float64   // c'X (only meaningful when Status == Optimal)
+}
+
+// ErrBadProblem reports malformed input.
+var ErrBadProblem = errors.New("lp: malformed problem")
+
+const (
+	tol      = 1e-9
+	maxIters = 200000
+)
+
+// Solve runs two-phase simplex on p.
+func Solve(p *Problem) (*Solution, error) {
+	n := len(p.C)
+	m := len(p.A)
+	if len(p.B) != m || len(p.Rel) != m {
+		return nil, fmt.Errorf("%w: %d rows, %d rhs, %d relations", ErrBadProblem, m, len(p.B), len(p.Rel))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrBadProblem, i, len(row), n)
+		}
+	}
+
+	// Canonical form: every row b_i >= 0 (flip rows), then add one slack
+	// (LE), surplus (GE) or nothing (EQ) per row, plus one artificial per
+	// EQ/GE row (and per flipped LE row, which became GE).
+	type rowT struct {
+		a   []float64
+		b   float64
+		rel Rel
+	}
+	rows := make([]rowT, m)
+	for i := range p.A {
+		a := append([]float64(nil), p.A[i]...)
+		b := p.B[i]
+		rel := p.Rel[i]
+		if b < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			b = -b
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = rowT{a, b, rel}
+	}
+
+	nSlack := 0
+	nArt := 0
+	for _, r := range rows {
+		if r.rel != EQ {
+			nSlack++
+		}
+		if r.rel != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+	// Build tableau: m rows x total cols, basis per row.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	rhs := make([]float64, m)
+	slackAt := n
+	artAt := n + nSlack
+	for i, r := range rows {
+		t[i] = make([]float64, total)
+		copy(t[i], r.a)
+		rhs[i] = r.b
+		switch r.rel {
+		case LE:
+			t[i][slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			t[i][slackAt] = -1
+			slackAt++
+			t[i][artAt] = 1
+			basis[i] = artAt
+			artAt++
+		case EQ:
+			t[i][artAt] = 1
+			basis[i] = artAt
+			artAt++
+		}
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	enterLimit := total
+	if nArt > 0 {
+		obj := make([]float64, total)
+		for j := n + nSlack; j < total; j++ {
+			obj[j] = 1
+		}
+		v, err := runSimplex(t, rhs, basis, obj, total)
+		if err != nil {
+			return nil, err
+		}
+		if v > tol {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Drive leftover artificials out of the basis where possible; a
+		// redundant row keeps its artificial basic at value 0, which is
+		// harmless because phase 2 bars artificial columns from entering.
+		for i := range basis {
+			if basis[i] < n+nSlack {
+				continue
+			}
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(t[i][j]) > tol {
+					pivot(t, rhs, basis, i, j)
+					break
+				}
+			}
+		}
+		enterLimit = n + nSlack
+	}
+
+	// Phase 2: original objective (zero on slack and artificial columns).
+	obj := make([]float64, total)
+	copy(obj, p.C)
+	if _, err := runSimplex(t, rhs, basis, obj, enterLimit); err != nil {
+		if errors.Is(err, errUnbounded) {
+			return &Solution{Status: Unbounded}, nil
+		}
+		return nil, err
+	}
+	x := make([]float64, n)
+	for i, bi := range basis {
+		if bi < n {
+			x[bi] = rhs[i]
+		}
+	}
+	objVal := 0.0
+	for j := range x {
+		objVal += p.C[j] * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Objective: objVal}, nil
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// runSimplex minimizes obj over the tableau in place and returns the final
+// objective value. Basic solutions are kept primal feasible throughout.
+// Only columns with index < enterLimit may enter the basis (phase 2 uses
+// this to bar artificial columns).
+func runSimplex(t [][]float64, rhs []float64, basis []int, obj []float64, enterLimit int) (float64, error) {
+	m := len(t)
+	if m == 0 {
+		return 0, nil
+	}
+	total := enterLimit
+	// Reduced costs: z_j - c_j computed from scratch each iteration (the
+	// instances are small; clarity over speed).
+	degenerate := 0
+	for iter := 0; iter < maxIters; iter++ {
+		// y = c_B' B^-1 is implicit: reduced cost r_j = c_j - sum_i c_B[i]*t[i][j].
+		enter := -1
+		var bestR float64
+		useBland := degenerate > 50
+		for j := 0; j < total; j++ {
+			r := obj[j]
+			for i := 0; i < m; i++ {
+				if cb := obj[basis[i]]; cb != 0 {
+					r -= cb * t[i][j]
+				}
+			}
+			if r < -tol {
+				if useBland {
+					enter = j
+					break
+				}
+				if enter == -1 || r < bestR {
+					enter, bestR = j, r
+				}
+			}
+		}
+		if enter == -1 {
+			v := 0.0
+			for i := 0; i < m; i++ {
+				v += obj[basis[i]] * rhs[i]
+			}
+			return v, nil
+		}
+		// Ratio test.
+		leave := -1
+		var bestRatio float64
+		for i := 0; i < m; i++ {
+			if t[i][enter] > tol {
+				ratio := rhs[i] / t[i][enter]
+				if leave == -1 || ratio < bestRatio-tol ||
+					(math.Abs(ratio-bestRatio) <= tol && basis[i] < basis[leave]) {
+					leave, bestRatio = i, ratio
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, errUnbounded
+		}
+		if bestRatio <= tol {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		pivot(t, rhs, basis, leave, enter)
+	}
+	return 0, errors.New("lp: iteration limit exceeded")
+}
+
+// pivot makes column enter basic in row leave.
+func pivot(t [][]float64, rhs []float64, basis []int, leave, enter int) {
+	piv := t[leave][enter]
+	for j := range t[leave] {
+		t[leave][j] /= piv
+	}
+	rhs[leave] /= piv
+	for i := range t {
+		if i == leave {
+			continue
+		}
+		f := t[i][enter]
+		if f == 0 {
+			continue
+		}
+		for j := range t[i] {
+			t[i][j] -= f * t[leave][j]
+		}
+		rhs[i] -= f * rhs[leave]
+		if math.Abs(rhs[i]) < 1e-12 {
+			rhs[i] = 0
+		}
+	}
+	basis[leave] = enter
+}

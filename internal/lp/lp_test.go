@@ -1,0 +1,284 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	return s
+}
+
+func TestSimple2D(t *testing.T) {
+	// maximize x+y s.t. x+2y<=4, 3x+y<=6  => minimize -x-y.
+	// Optimum at intersection: x=8/5, y=6/5, value 14/5.
+	p := &Problem{
+		C:   []float64{-1, -1},
+		A:   [][]float64{{1, 2}, {3, 1}},
+		B:   []float64{4, 6},
+		Rel: []Rel{LE, LE},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective+14.0/5) > 1e-6 {
+		t.Fatalf("objective = %v, want -2.8", s.Objective)
+	}
+	if math.Abs(s.X[0]-1.6) > 1e-6 || math.Abs(s.X[1]-1.2) > 1e-6 {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// minimize 2x+3y s.t. x+y = 10, x >= 4  => x=10? No: y free to 0.
+	// x+y=10, x>=4, minimize 2x+3y: prefer more x (cheaper) => x=10,y=0, obj 20.
+	p := &Problem{
+		C:   []float64{2, 3},
+		A:   [][]float64{{1, 1}, {1, 0}},
+		B:   []float64{10, 4},
+		Rel: []Rel{EQ, GE},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-20) > 1e-6 {
+		t.Fatalf("objective = %v, want 20", s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2.
+	p := &Problem{
+		C:   []float64{1},
+		A:   [][]float64{{1}, {1}},
+		B:   []float64{1, 2},
+		Rel: []Rel{LE, GE},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// minimize -x with only x >= 0.
+	p := &Problem{
+		C:   []float64{-1},
+		A:   [][]float64{{1}},
+		B:   []float64{1},
+		Rel: []Rel{GE},
+	}
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// -x <= -3  <=>  x >= 3; minimize x => 3.
+	p := &Problem{
+		C:   []float64{1},
+		A:   [][]float64{{-1}},
+		B:   []float64{-3},
+		Rel: []Rel{LE},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-3) > 1e-6 {
+		t.Fatalf("objective = %v, want 3", s.Objective)
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	// Classic degeneracy: multiple constraints active at the optimum.
+	p := &Problem{
+		C: []float64{-2, -3},
+		A: [][]float64{
+			{1, 1},
+			{1, 1},
+			{2, 1},
+		},
+		B:   []float64{4, 4, 6},
+		Rel: []Rel{LE, LE, LE},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective+12) > 1e-6 { // x=0,y=4 -> -12
+		t.Fatalf("objective = %v, want -12", s.Objective)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicate equality rows leave an artificial basic at zero; the
+	// solver must still finish.
+	p := &Problem{
+		C:   []float64{1, 1},
+		A:   [][]float64{{1, 1}, {1, 1}},
+		B:   []float64{2, 2},
+		Rel: []Rel{EQ, EQ},
+	}
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-2) > 1e-6 {
+		t.Fatalf("objective = %v, want 2", s.Objective)
+	}
+}
+
+func TestMalformed(t *testing.T) {
+	if _, err := Solve(&Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}, Rel: []Rel{LE}}); err == nil {
+		t.Fatal("bad row width accepted")
+	}
+	if _, err := Solve(&Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}, Rel: []Rel{LE}}); err == nil {
+		t.Fatal("rhs length mismatch accepted")
+	}
+}
+
+// bruteForceLE exhaustively checks all basic solutions of a small LE-only
+// problem by enumerating constraint subsets; used as an oracle.
+func bruteForceLE(c []float64, a [][]float64, b []float64) (float64, bool) {
+	n := len(c)
+	m := len(a)
+	best := math.Inf(1)
+	found := false
+	// Candidate vertices: intersections of n active constraints chosen
+	// from the m rows plus the n axes x_j = 0.
+	rows := make([][]float64, 0, m+n)
+	rhs := make([]float64, 0, m+n)
+	for i := 0; i < m; i++ {
+		rows = append(rows, a[i])
+		rhs = append(rhs, b[i])
+	}
+	for j := 0; j < n; j++ {
+		e := make([]float64, n)
+		e[j] = 1
+		rows = append(rows, e)
+		rhs = append(rhs, 0)
+	}
+	idx := make([]int, n)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == n {
+			x, ok := solveSquare(rows, rhs, idx)
+			if !ok {
+				return
+			}
+			for j := range x {
+				if x[j] < -1e-7 {
+					return
+				}
+			}
+			for i := 0; i < m; i++ {
+				dot := 0.0
+				for j := range x {
+					dot += a[i][j] * x[j]
+				}
+				if dot > b[i]+1e-7 {
+					return
+				}
+			}
+			v := 0.0
+			for j := range x {
+				v += c[j] * x[j]
+			}
+			if v < best {
+				best = v
+				found = true
+			}
+			return
+		}
+		for i := start; i < len(rows); i++ {
+			idx[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+// solveSquare solves the n x n system rows[idx] * x = rhs[idx] by Gaussian
+// elimination; returns ok=false for singular systems.
+func solveSquare(rows [][]float64, rhs []float64, idx []int) ([]float64, bool) {
+	n := len(idx)
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i, ri := range idx {
+		a[i] = append([]float64(nil), rows[ri]...)
+		b[i] = rhs[ri]
+	}
+	for col := 0; col < n; col++ {
+		piv := -1
+		for r := col; r < n; r++ {
+			if math.Abs(a[r][col]) > 1e-9 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[i] / a[i][i]
+	}
+	return x, true
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	// Property: on random small bounded LE problems, simplex matches the
+	// vertex-enumeration oracle.
+	f := func(seed int64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(2) // 2-3 variables
+		m := 2 + r.Intn(3) // 2-4 constraints
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = rng.UniformIn(r, -5, 5)
+		}
+		a := make([][]float64, m)
+		b := make([]float64, m)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.UniformIn(r, 0.1, 5) // positive rows: bounded feasible region
+			}
+			b[i] = rng.UniformIn(r, 1, 10)
+		}
+		rel := make([]Rel, m)
+		p := &Problem{C: c, A: a, B: b, Rel: rel}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false // positive rows, positive rhs: origin is feasible and region bounded in the c<0 directions? c may be negative but rows positive => bounded
+		}
+		want, ok := bruteForceLE(c, a, b)
+		if !ok {
+			return false
+		}
+		return math.Abs(s.Objective-want) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,441 @@
+// Package mapping implements the operator-to-processor allocation model of
+// Benoit et al. and the five steady-state feasibility constraints of the
+// paper's Section 2.3:
+//
+//	(1) compute:        sum_{i in a¯(u)} rho*w_i / s_u <= 1
+//	(2) processor NIC:  downloads + crossing child traffic + crossing
+//	                    parent traffic <= Bp_u
+//	(3) server NIC:     sum of downloads served by S_l <= Bs_l
+//	(4) server-proc link: downloads on (l,u) <= bs
+//	(5) proc-proc link:   crossing traffic between (u,v) <= bp
+//
+// A Mapping is a mutable construction object for the placement heuristics:
+// processors are bought and sold, operators placed and removed, and server
+// choices recorded. Validate performs a full independent re-check of every
+// constraint from scratch, so heuristics cannot hide bookkeeping bugs.
+package mapping
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/apptree"
+	"repro/internal/instance"
+	"repro/internal/platform"
+)
+
+// Unassigned marks an operator without a processor.
+const Unassigned = -1
+
+// NoServer marks a download whose source server has not been selected yet.
+const NoServer = -1
+
+// Proc is one purchased processor.
+type Proc struct {
+	Config platform.Config
+	Alive  bool // false once sold back
+}
+
+// Mapping is a (possibly partial) allocation of the operators of an
+// instance onto purchased processors.
+type Mapping struct {
+	Inst   *instance.Instance
+	Procs  []Proc
+	Assign []int         // operator -> processor index, or Unassigned
+	DL     []map[int]int // per processor: object type -> chosen server (NoServer until selected)
+}
+
+// New returns an empty mapping for the instance.
+func New(in *instance.Instance) *Mapping {
+	m := &Mapping{Inst: in, Assign: make([]int, in.Tree.NumOps())}
+	for i := range m.Assign {
+		m.Assign[i] = Unassigned
+	}
+	return m
+}
+
+// Clone returns a deep copy; heuristics use it for tentative moves.
+func (m *Mapping) Clone() *Mapping {
+	c := &Mapping{Inst: m.Inst}
+	c.Procs = append([]Proc(nil), m.Procs...)
+	c.Assign = append([]int(nil), m.Assign...)
+	c.DL = make([]map[int]int, len(m.DL))
+	for i, d := range m.DL {
+		if d == nil {
+			continue
+		}
+		c.DL[i] = make(map[int]int, len(d))
+		for k, v := range d {
+			c.DL[i][k] = v
+		}
+	}
+	return c
+}
+
+// Buy acquires a processor with the given configuration and returns its id.
+func (m *Mapping) Buy(cfg platform.Config) int {
+	m.Procs = append(m.Procs, Proc{Config: cfg, Alive: true})
+	m.DL = append(m.DL, nil)
+	return len(m.Procs) - 1
+}
+
+// Sell returns a processor; it must be empty.
+func (m *Mapping) Sell(p int) {
+	if n := len(m.OpsOn(p)); n != 0 {
+		panic(fmt.Sprintf("mapping: selling processor %d with %d operators", p, n))
+	}
+	m.Procs[p].Alive = false
+	m.DL[p] = nil
+}
+
+// Place assigns operator op to processor p (which must be alive).
+func (m *Mapping) Place(op, p int) {
+	if !m.Procs[p].Alive {
+		panic(fmt.Sprintf("mapping: placing on sold processor %d", p))
+	}
+	m.Assign[op] = p
+}
+
+// Unplace removes operator op from its processor.
+func (m *Mapping) Unplace(op int) { m.Assign[op] = Unassigned }
+
+// OpProc returns the processor hosting op, or Unassigned.
+func (m *Mapping) OpProc(op int) int { return m.Assign[op] }
+
+// OpsOn returns the operators currently assigned to p, ascending.
+func (m *Mapping) OpsOn(p int) []int {
+	var out []int
+	for op, q := range m.Assign {
+		if q == p {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// AliveProcs returns the ids of processors not yet sold.
+func (m *Mapping) AliveProcs() []int {
+	var out []int
+	for p := range m.Procs {
+		if m.Procs[p].Alive {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Complete reports whether every operator is assigned.
+func (m *Mapping) Complete() bool {
+	for _, p := range m.Assign {
+		if p == Unassigned {
+			return false
+		}
+	}
+	return true
+}
+
+// Cost returns the total purchase cost of alive processors (servers are
+// fixed and free in the constructive model).
+func (m *Mapping) Cost() float64 {
+	total := 0.0
+	for _, p := range m.AliveProcs() {
+		total += m.Inst.Platform.Catalog.Cost(m.Procs[p].Config)
+	}
+	return total
+}
+
+// ComputeLoad returns the work rate rho * sum w_i demanded of p, in
+// work-units/s; constraint (1) requires it not to exceed the processor's
+// SpeedUnits.
+func (m *Mapping) ComputeLoad(p int) float64 {
+	load := 0.0
+	for _, op := range m.OpsOn(p) {
+		load += m.Inst.Rho * m.Inst.W[op]
+	}
+	return load
+}
+
+// NeededObjects returns the de-duplicated sorted object types the
+// operators on p must download (union of Leaf(i) over i in a¯(p)).
+func (m *Mapping) NeededObjects(p int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, op := range m.OpsOn(p) {
+		for _, k := range m.Inst.Tree.LeafObjects(op) {
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, k)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DownloadLoad returns the NIC bandwidth p spends on basic-object
+// downloads: sum of rate_k over its needed objects (each object is
+// downloaded once per processor regardless of how many local operators
+// share it — the paper's DL(u) is a set).
+func (m *Mapping) DownloadLoad(p int) float64 {
+	load := 0.0
+	for _, k := range m.NeededObjects(p) {
+		load += m.Inst.Rate(k)
+	}
+	return load
+}
+
+// CommLoad returns the NIC bandwidth p spends exchanging intermediate
+// results with other processors: incoming traffic from operator children
+// mapped elsewhere plus outgoing traffic to parents mapped elsewhere.
+// Edges to still-Unassigned operators do not count; they are accounted for
+// when the neighbour is placed (heuristics that buy small processors guard
+// against this with StaticNICReq at purchase time). On a complete mapping
+// the value is exact.
+func (m *Mapping) CommLoad(p int) float64 {
+	load := 0.0
+	tree := m.Inst.Tree
+	for _, op := range m.OpsOn(p) {
+		for _, c := range tree.Ops[op].ChildOps {
+			if q := m.Assign[c]; q != p && q != Unassigned {
+				load += m.Inst.EdgeTraffic(c)
+			}
+		}
+		if par := tree.Ops[op].Parent; par != apptree.NoParent {
+			if q := m.Assign[par]; q != p && q != Unassigned {
+				load += m.Inst.EdgeTraffic(op)
+			}
+		}
+	}
+	return load
+}
+
+// StaticNICReq returns the worst-case NIC bandwidth a processor hosting
+// exactly the given operator group must provide: the group's de-duplicated
+// object download rates plus the traffic of every tree edge crossing the
+// group's boundary, as if every neighbour were mapped remotely. Heuristics
+// that buy the cheapest viable processor size its NIC with this bound so
+// that later placements of neighbours can never overload it; the final
+// downgrade step recovers the slack once the real crossing set is known.
+func (m *Mapping) StaticNICReq(ops ...int) float64 {
+	in := m.Inst
+	group := map[int]bool{}
+	for _, op := range ops {
+		group[op] = true
+	}
+	seen := map[int]bool{}
+	load := 0.0
+	for _, op := range ops {
+		for _, k := range in.Tree.LeafObjects(op) {
+			if !seen[k] {
+				seen[k] = true
+				load += in.Rate(k)
+			}
+		}
+		for _, c := range in.Tree.Ops[op].ChildOps {
+			if !group[c] {
+				load += in.EdgeTraffic(c)
+			}
+		}
+		if par := in.Tree.Ops[op].Parent; par != apptree.NoParent && !group[par] {
+			load += in.EdgeTraffic(op)
+		}
+	}
+	return load
+}
+
+// NICLoad is the total NIC bandwidth demanded of p (downloads plus
+// communication); constraint (2) requires it not to exceed Bp.
+func (m *Mapping) NICLoad(p int) float64 { return m.DownloadLoad(p) + m.CommLoad(p) }
+
+// LinkTraffic returns the traffic on the bidirectional link between
+// processors p and q: the sum of rho*delta over tree edges with one
+// endpoint on each; constraint (5) bounds it by bp.
+func (m *Mapping) LinkTraffic(p, q int) float64 {
+	if p == q {
+		return 0
+	}
+	load := 0.0
+	tree := m.Inst.Tree
+	for _, op := range m.OpsOn(p) {
+		for _, c := range tree.Ops[op].ChildOps {
+			if m.Assign[c] == q {
+				load += m.Inst.EdgeTraffic(c)
+			}
+		}
+		if par := tree.Ops[op].Parent; par != apptree.NoParent && m.Assign[par] == q {
+			load += m.Inst.EdgeTraffic(op)
+		}
+	}
+	return load
+}
+
+// ProcFeasible checks constraints (1), (2) and every (5)-link touching p
+// for the current (possibly partial) assignment. It returns nil or a
+// descriptive error.
+func (m *Mapping) ProcFeasible(p int) error {
+	cat := m.Inst.Platform.Catalog
+	if load, cap := m.ComputeLoad(p), cat.SpeedUnits(m.Procs[p].Config); load > cap+eps {
+		return fmt.Errorf("mapping: processor %d compute overload %.3f > %.3f units/s", p, load, cap)
+	}
+	if load, cap := m.NICLoad(p), cat.BandwidthMBps(m.Procs[p].Config); load > cap+eps {
+		return fmt.Errorf("mapping: processor %d NIC overload %.3f > %.3f MB/s", p, load, cap)
+	}
+	for _, q := range m.AliveProcs() {
+		if q == p {
+			continue
+		}
+		if tr := m.LinkTraffic(p, q); tr > m.Inst.Platform.ProcLinkMBps+eps {
+			return fmt.Errorf("mapping: link %d-%d overload %.3f > %.3f MB/s", p, q, tr, m.Inst.Platform.ProcLinkMBps)
+		}
+	}
+	return nil
+}
+
+// eps absorbs float rounding in constraint comparisons.
+const eps = 1e-9
+
+// TryPlace tentatively places ops on p; if any of constraints (1), (2),
+// (5) would be violated for p or for a processor hosting a neighbour of
+// ops, the placement is rolled back and false is returned.
+func (m *Mapping) TryPlace(p int, ops ...int) bool {
+	prev := make([]int, len(ops))
+	for i, op := range ops {
+		prev[i] = m.Assign[op]
+		m.Place(op, p)
+	}
+	affected := map[int]bool{p: true}
+	tree := m.Inst.Tree
+	for _, op := range ops {
+		for _, c := range tree.Ops[op].ChildOps {
+			if q := m.Assign[c]; q != Unassigned {
+				affected[q] = true
+			}
+		}
+		if par := tree.Ops[op].Parent; par != apptree.NoParent {
+			if q := m.Assign[par]; q != Unassigned {
+				affected[q] = true
+			}
+		}
+	}
+	for q := range affected {
+		if m.ProcFeasible(q) != nil {
+			for i, op := range ops {
+				m.Assign[op] = prev[i]
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// SelectServer records that processor p downloads object k from server l.
+func (m *Mapping) SelectServer(p, k, l int) {
+	if m.DL[p] == nil {
+		m.DL[p] = map[int]int{}
+	}
+	m.DL[p][k] = l
+}
+
+// ServerLoad returns the total download bandwidth (MB/s) demanded of
+// server l across all processors; constraint (3) bounds it by Bs_l.
+func (m *Mapping) ServerLoad(l int) float64 {
+	load := 0.0
+	for p := range m.Procs {
+		if !m.Procs[p].Alive {
+			continue
+		}
+		for k, srv := range m.DL[p] {
+			if srv == l {
+				load += m.Inst.Rate(k)
+			}
+		}
+	}
+	return load
+}
+
+// ServerLinkLoad returns the download bandwidth on the link from server l
+// to processor p; constraint (4) bounds it by bs.
+func (m *Mapping) ServerLinkLoad(l, p int) float64 {
+	load := 0.0
+	for k, srv := range m.DL[p] {
+		if srv == l {
+			load += m.Inst.Rate(k)
+		}
+	}
+	return load
+}
+
+// Validate re-checks the complete mapping from scratch:
+//
+//   - every operator assigned to an alive processor,
+//   - every needed object of every processor has a selected server that
+//     actually holds the object (and no spurious downloads),
+//   - constraints (1) through (5).
+func (m *Mapping) Validate() error {
+	in := m.Inst
+	for op, p := range m.Assign {
+		if p == Unassigned {
+			return fmt.Errorf("mapping: operator %d unassigned", op)
+		}
+		if p < 0 || p >= len(m.Procs) || !m.Procs[p].Alive {
+			return fmt.Errorf("mapping: operator %d on invalid processor %d", op, p)
+		}
+	}
+	for _, p := range m.AliveProcs() {
+		needed := m.NeededObjects(p)
+		if len(needed) != len(m.DL[p]) {
+			return fmt.Errorf("mapping: processor %d needs %d objects but has %d downloads", p, len(needed), len(m.DL[p]))
+		}
+		for _, k := range needed {
+			l, ok := m.DL[p][k]
+			if !ok {
+				return fmt.Errorf("mapping: processor %d missing download for object %d", p, k)
+			}
+			if l == NoServer {
+				return fmt.Errorf("mapping: processor %d object %d has no server selected", p, k)
+			}
+			holds := false
+			for _, h := range in.Holders[k] {
+				if h == l {
+					holds = true
+				}
+			}
+			if !holds {
+				return fmt.Errorf("mapping: processor %d downloads object %d from server %d which does not hold it", p, k, l)
+			}
+		}
+		if err := m.ProcFeasible(p); err != nil {
+			return err
+		}
+	}
+	for l := range in.Platform.Servers {
+		if load, cap := m.ServerLoad(l), in.Platform.Servers[l].NICMBps; load > cap+eps {
+			return fmt.Errorf("mapping: server %d NIC overload %.3f > %.3f MB/s", l, load, cap)
+		}
+		for _, p := range m.AliveProcs() {
+			if load := m.ServerLinkLoad(l, p); load > in.Platform.ServerLinkMBps+eps {
+				return fmt.Errorf("mapping: server link %d->%d overload %.3f > %.3f MB/s", l, p, load, in.Platform.ServerLinkMBps)
+			}
+		}
+	}
+	return nil
+}
+
+// Compact returns the mapping's alive processors renumbered 0..n-1
+// together with the per-processor operator lists; convenient for
+// reporting and for the stream simulator.
+func (m *Mapping) Compact() (procs []Proc, ops [][]int, dl []map[int]int) {
+	for p := range m.Procs {
+		if !m.Procs[p].Alive {
+			continue
+		}
+		procs = append(procs, m.Procs[p])
+		ops = append(ops, m.OpsOn(p))
+		d := map[int]int{}
+		for k, v := range m.DL[p] {
+			d[k] = v
+		}
+		dl = append(dl, d)
+	}
+	return procs, ops, dl
+}

@@ -1,0 +1,127 @@
+// Package multiapp implements the paper's first future-work direction:
+// executing multiple applications simultaneously, each with its own
+// throughput target, on one shared purchased platform.
+//
+// The reduction is exact: the steady-state constraints (1)-(5) are linear
+// in rho*w_i and rho*delta_i, so an application with target rho_k is
+// folded into a global rho=1 problem by pre-scaling its operators' work
+// and output sizes by rho_k. The K trees are stitched into one binary
+// tree with zero-cost virtual combiner operators (w=0, delta=0), which
+// never constrain any processor or link. Sharing pays in two ways: spare
+// CPU/NIC capacity is pooled, and co-located operators of different
+// applications that need the same basic object download it once — the
+// paper's "reuse of common sub-expressions", at download granularity.
+package multiapp
+
+import (
+	"fmt"
+
+	"repro/internal/apptree"
+	"repro/internal/instance"
+	"repro/internal/platform"
+)
+
+// App is one application: a tree and its own QoS target.
+type App struct {
+	Tree *apptree.Tree
+	Rho  float64
+}
+
+// Workload describes the shared environment of all applications.
+type Workload struct {
+	NumTypes int
+	Sizes    []float64
+	Freqs    []float64
+	Holders  [][]int
+	Platform *platform.Platform
+	Alpha    float64
+}
+
+// Combine folds the applications into one solvable Instance with global
+// rho = 1. The returned instance carries pre-scaled derived W/Delta; do
+// not call Refresh on it (that would recompute them for rho = 1 only and
+// assign work to the virtual combiners).
+func Combine(apps []App, w Workload) (*instance.Instance, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("multiapp: no applications")
+	}
+	for i, a := range apps {
+		if a.Tree == nil {
+			return nil, fmt.Errorf("multiapp: application %d has no tree", i)
+		}
+		if err := a.Tree.Validate(); err != nil {
+			return nil, fmt.Errorf("multiapp: application %d: %v", i, err)
+		}
+		if a.Rho <= 0 {
+			return nil, fmt.Errorf("multiapp: application %d has rho %v", i, a.Rho)
+		}
+	}
+
+	merged := &apptree.Tree{}
+	var wAll, dAll []float64
+	roots := make([]int, len(apps))
+	for ai, a := range apps {
+		opOff := len(merged.Ops)
+		leafOff := len(merged.Leaves)
+		for _, op := range a.Tree.Ops {
+			cp := apptree.Operator{Parent: op.Parent}
+			if op.Parent != apptree.NoParent {
+				cp.Parent = op.Parent + opOff
+			}
+			for _, c := range op.ChildOps {
+				cp.ChildOps = append(cp.ChildOps, c+opOff)
+			}
+			for _, li := range op.Leaves {
+				cp.Leaves = append(cp.Leaves, li+leafOff)
+			}
+			merged.Ops = append(merged.Ops, cp)
+		}
+		for _, l := range a.Tree.Leaves {
+			merged.Leaves = append(merged.Leaves, apptree.Leaf{Object: l.Object, Parent: l.Parent + opOff})
+		}
+		roots[ai] = a.Tree.Root + opOff
+
+		// Pre-scale this application's work and traffic by its target.
+		wApp, dApp := a.Tree.Derive(w.Sizes, w.Alpha)
+		for i := range wApp {
+			wAll = append(wAll, a.Rho*wApp[i])
+			dAll = append(dAll, a.Rho*dApp[i])
+		}
+	}
+
+	// Chain the application roots under zero-cost virtual combiners.
+	cur := roots[0]
+	for _, next := range roots[1:] {
+		v := len(merged.Ops)
+		merged.Ops = append(merged.Ops, apptree.Operator{
+			Parent:   apptree.NoParent,
+			ChildOps: []int{cur, next},
+		})
+		merged.Ops[cur].Parent = v
+		merged.Ops[next].Parent = v
+		wAll = append(wAll, 0)
+		dAll = append(dAll, 0)
+		cur = v
+	}
+	merged.Root = cur
+	if err := merged.Validate(); err != nil {
+		return nil, fmt.Errorf("multiapp: merged tree invalid: %v", err)
+	}
+
+	in := &instance.Instance{
+		Tree:     merged,
+		NumTypes: w.NumTypes,
+		Sizes:    w.Sizes,
+		Freqs:    w.Freqs,
+		Holders:  w.Holders,
+		Platform: w.Platform,
+		Rho:      1, // targets are folded into W/Delta
+		Alpha:    w.Alpha,
+		W:        wAll,
+		Delta:    dAll,
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("multiapp: combined instance invalid: %v", err)
+	}
+	return in, nil
+}

@@ -1,0 +1,143 @@
+package multiapp
+
+import (
+	"testing"
+
+	"repro/internal/apptree"
+	"repro/internal/heuristics"
+	"repro/internal/instance"
+	"repro/internal/rng"
+)
+
+func workload(seed int64) Workload {
+	base := instance.Generate(instance.Config{NumOps: 5}, seed)
+	return Workload{
+		NumTypes: base.NumTypes,
+		Sizes:    base.Sizes,
+		Freqs:    base.Freqs,
+		Holders:  base.Holders,
+		Platform: base.Platform,
+		Alpha:    1.0,
+	}
+}
+
+func TestCombineStructure(t *testing.T) {
+	w := workload(1)
+	a := apptree.Random(rng.New(1), 6, w.NumTypes)
+	b := apptree.Random(rng.New(2), 4, w.NumTypes)
+	c := apptree.Random(rng.New(3), 3, w.NumTypes)
+	in, err := Combine([]App{{a, 1}, {b, 2}, {c, 0.5}}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6+4+3 real operators + 2 virtual combiners.
+	if in.Tree.NumOps() != 15 {
+		t.Fatalf("merged tree has %d ops, want 15", in.Tree.NumOps())
+	}
+	if in.Tree.NumLeaves() != 7+5+4 {
+		t.Fatalf("merged tree has %d leaves", in.Tree.NumLeaves())
+	}
+	// Virtual combiners carry no work and no traffic.
+	for _, v := range []int{13, 14} {
+		if in.W[v] != 0 || in.Delta[v] != 0 {
+			t.Fatalf("virtual op %d has w=%v delta=%v", v, in.W[v], in.Delta[v])
+		}
+	}
+}
+
+func TestRhoScaling(t *testing.T) {
+	w := workload(2)
+	a := apptree.Random(rng.New(4), 5, w.NumTypes)
+	in1, err := Combine([]App{{a, 1}}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in3, err := Combine([]App{{a, 3}}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if in3.W[i] != 3*in1.W[i] {
+			t.Fatalf("op %d: W not scaled by rho (got %v, want %v)", i, in3.W[i], 3*in1.W[i])
+		}
+		if in3.Delta[i] != 3*in1.Delta[i] {
+			t.Fatalf("op %d: Delta not scaled by rho", i)
+		}
+	}
+}
+
+func TestCombinedSolveIsFeasibleAndShared(t *testing.T) {
+	w := workload(3)
+	a := apptree.Random(rng.New(5), 8, w.NumTypes)
+	b := apptree.Random(rng.New(6), 8, w.NumTypes)
+
+	solve := func(in *instance.Instance) float64 {
+		res, err := heuristics.Solve(in, heuristics.SubtreeBottomUp{}, heuristics.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Mapping.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return res.Cost
+	}
+
+	combined, err := Combine([]App{{a, 1}, {b, 1}}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costShared := solve(combined)
+
+	costA := solve(mustCombine(t, []App{{a, 1}}, w))
+	costB := solve(mustCombine(t, []App{{b, 1}}, w))
+
+	// Sharing one platform can never be modelled as costing more than the
+	// heuristic's independent platforms here, because both workloads fit a
+	// single processor.
+	if costShared > costA+costB {
+		t.Fatalf("shared platform $%v costs more than independent $%v+$%v", costShared, costA, costB)
+	}
+	if costShared >= costA+costB {
+		t.Fatalf("no sharing benefit: %v vs %v", costShared, costA+costB)
+	}
+}
+
+func mustCombine(t *testing.T, apps []App, w Workload) *instance.Instance {
+	t.Helper()
+	in, err := Combine(apps, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestCombineErrors(t *testing.T) {
+	w := workload(4)
+	if _, err := Combine(nil, w); err == nil {
+		t.Fatal("empty app list accepted")
+	}
+	a := apptree.Random(rng.New(1), 3, w.NumTypes)
+	if _, err := Combine([]App{{a, 0}}, w); err == nil {
+		t.Fatal("rho=0 accepted")
+	}
+	if _, err := Combine([]App{{nil, 1}}, w); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+}
+
+func TestHighTargetsForceBiggerPlatform(t *testing.T) {
+	w := workload(5)
+	a := apptree.Random(rng.New(7), 10, w.NumTypes)
+	cheap := mustCombine(t, []App{{a, 1}}, w)
+	dear := mustCombine(t, []App{{a, 40}}, w)
+	solve := func(in *instance.Instance) float64 {
+		res, err := heuristics.Solve(in, heuristics.CompGreedy{}, heuristics.Options{})
+		if err != nil {
+			t.Skip("high-rho variant infeasible for this seed")
+		}
+		return res.Cost
+	}
+	if solve(dear) < solve(cheap) {
+		t.Fatal("40x throughput target did not increase cost")
+	}
+}

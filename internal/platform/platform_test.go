@@ -1,0 +1,210 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable1Reproduced(t *testing.T) {
+	c := Default()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the exact Table 1 rows.
+	wantCPUs := []struct{ ghz, up float64 }{
+		{11.72, 0}, {19.20, 1550}, {25.60, 2399}, {38.40, 3949}, {46.88, 5299},
+	}
+	for i, w := range wantCPUs {
+		if c.CPUs[i].SpeedGHz != w.ghz || c.CPUs[i].Upcharge != w.up {
+			t.Fatalf("CPU row %d = %+v, want %+v", i, c.CPUs[i], w)
+		}
+	}
+	wantNICs := []struct{ gbps, up float64 }{
+		{1, 0}, {2, 399}, {4, 1197}, {10, 2800}, {20, 5999},
+	}
+	for i, w := range wantNICs {
+		if c.NICs[i].Gbps != w.gbps || c.NICs[i].Upcharge != w.up {
+			t.Fatalf("NIC row %d = %+v, want %+v", i, c.NICs[i], w)
+		}
+	}
+}
+
+func TestTable1Ratios(t *testing.T) {
+	// The paper reports GHz/$ and Gbps/$ ratios; verify ours match to the
+	// printed precision (2-3 significant digits).
+	c := Default()
+	// The paper's printed GHz/$ column matches base+upcharge only for the
+	// first CPU row (1.55e-3); rows 2-5 of the printed column disagree
+	// with the paper's own cost column by a constant ~$820, so we verify
+	// the first row exactly and the qualitative property the paper uses
+	// (faster CPUs have better GHz/$, i.e. the column is increasing).
+	got0 := c.CPUs[0].SpeedGHz / (c.Base + c.CPUs[0].Upcharge)
+	if math.Abs(got0-1.55e-3)/1.55e-3 > 0.01 {
+		t.Fatalf("CPU ratio 0 = %v, want ~1.55e-3", got0)
+	}
+	prev := 0.0
+	for i := range c.CPUs {
+		r := c.CPUs[i].SpeedGHz / (c.Base + c.CPUs[i].Upcharge)
+		if r <= prev {
+			t.Fatalf("CPU GHz/$ not increasing at row %d", i)
+		}
+		prev = r
+	}
+	wantNIC := []float64{1.32e-4, 2.51e-4, 4.57e-4, 9.66e-4, 14.76e-4}
+	for i, w := range wantNIC {
+		got := c.NICs[i].Gbps / (c.Base + c.NICs[i].Upcharge)
+		if math.Abs(got-w)/w > 0.01 {
+			t.Fatalf("NIC ratio %d = %v, want ~%v", i, got, w)
+		}
+	}
+}
+
+func TestCost(t *testing.T) {
+	c := Default()
+	if got := c.Cost(Config{0, 0}); got != 7548 {
+		t.Fatalf("cheapest config costs %v, want 7548", got)
+	}
+	if got := c.Cost(Config{4, 4}); got != 7548+5299+5999 {
+		t.Fatalf("most expensive config costs %v, want %v", got, 7548+5299+5999.0)
+	}
+	if c.MostExpensive() != (Config{4, 4}) {
+		t.Fatalf("MostExpensive = %+v", c.MostExpensive())
+	}
+}
+
+func TestSpeedAndBandwidthUnits(t *testing.T) {
+	c := Default()
+	if got := c.SpeedUnits(Config{4, 4}); got != 46.88*WorkUnitsPerGHz {
+		t.Fatalf("SpeedUnits = %v", got)
+	}
+	if got := c.BandwidthMBps(Config{0, 0}); got != 125 {
+		t.Fatalf("1 Gbps NIC = %v MB/s, want 125", got)
+	}
+	if got := c.BandwidthMBps(Config{0, 4}); got != 2500 {
+		t.Fatalf("20 Gbps NIC = %v MB/s, want 2500", got)
+	}
+}
+
+func TestCheapestFitting(t *testing.T) {
+	c := Default()
+	// A tiny load fits the base config.
+	cfg, ok := c.CheapestFitting(1000, 10)
+	if !ok || cfg != (Config{0, 0}) {
+		t.Fatalf("tiny load -> %+v ok=%v, want base config", cfg, ok)
+	}
+	// Load requiring the 25.60 GHz CPU and the 4 Gbps NIC.
+	cfg, ok = c.CheapestFitting(20*WorkUnitsPerGHz, 300)
+	if !ok || cfg != (Config{2, 2}) {
+		t.Fatalf("mid load -> %+v ok=%v, want {2 2}", cfg, ok)
+	}
+	// Infeasible compute.
+	if _, ok = c.CheapestFitting(47*WorkUnitsPerGHz, 0); ok {
+		t.Fatal("infeasible compute load reported as fitting")
+	}
+	// Infeasible bandwidth.
+	if _, ok = c.CheapestFitting(0, 2501); ok {
+		t.Fatal("infeasible NIC load reported as fitting")
+	}
+	// Exact boundary fits.
+	if _, ok = c.CheapestFitting(46.88*WorkUnitsPerGHz, 2500); !ok {
+		t.Fatal("exact max load should fit")
+	}
+}
+
+func TestCheapestFittingIsOptimal(t *testing.T) {
+	// Property: CheapestFitting returns the min-cost feasible combo, as
+	// verified by brute force over the 25 configurations.
+	c := Default()
+	f := func(wSeed, bSeed uint16) bool {
+		w := float64(wSeed) / 65535 * 50 * WorkUnitsPerGHz
+		bw := float64(bSeed) / 65535 * 2600
+		got, ok := c.CheapestFitting(w, bw)
+		bestCost := math.Inf(1)
+		found := false
+		for ci := range c.CPUs {
+			for ni := range c.NICs {
+				if c.SpeedUnits(Config{ci, ni}) >= w && c.BandwidthMBps(Config{ci, ni}) >= bw {
+					found = true
+					if cost := c.Cost(Config{ci, ni}); cost < bestCost {
+						bestCost = cost
+					}
+				}
+			}
+		}
+		if found != ok {
+			return false
+		}
+		return !ok || c.Cost(got) == bestCost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHomogeneous(t *testing.T) {
+	c := Homogeneous(2, 3)
+	if !c.Homogeneous() {
+		t.Fatal("Homogeneous catalog not homogeneous")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.CPUs[0].SpeedGHz != 25.60 || c.NICs[0].Gbps != 10 {
+		t.Fatalf("wrong options selected: %+v", c)
+	}
+	if Default().Homogeneous() {
+		t.Fatal("default catalog must not be homogeneous")
+	}
+}
+
+func TestDefaultPlatform(t *testing.T) {
+	p := DefaultPlatform()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Servers) != 6 {
+		t.Fatalf("want 6 servers, got %d", len(p.Servers))
+	}
+	for _, s := range p.Servers {
+		if s.NICMBps != 10000 {
+			t.Fatalf("server NIC = %v, want 10000 MB/s", s.NICMBps)
+		}
+	}
+	if p.ServerLinkMBps != 1000 || p.ProcLinkMBps != 1000 {
+		t.Fatalf("links = %v/%v, want 1000/1000", p.ServerLinkMBps, p.ProcLinkMBps)
+	}
+}
+
+func TestValidateCatchesBadData(t *testing.T) {
+	bad := Default()
+	bad.CPUs[0].SpeedGHz = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative speed not caught")
+	}
+	bad = Default()
+	bad.CPUs[1].Upcharge = -5
+	if bad.Validate() == nil {
+		t.Fatal("negative upcharge not caught")
+	}
+	bad = Default()
+	bad.NICs = nil
+	if bad.Validate() == nil {
+		t.Fatal("empty NIC list not caught")
+	}
+	bad = Default()
+	bad.CPUs[0], bad.CPUs[1] = bad.CPUs[1], bad.CPUs[0]
+	if bad.Validate() == nil {
+		t.Fatal("unsorted CPUs not caught")
+	}
+	p := DefaultPlatform()
+	p.Servers = nil
+	if p.Validate() == nil {
+		t.Fatal("no servers not caught")
+	}
+	p = DefaultPlatform()
+	p.ProcLinkMBps = 0
+	if p.Validate() == nil {
+		t.Fatal("zero link bandwidth not caught")
+	}
+}

@@ -1,0 +1,159 @@
+// Package rewrite implements the paper's second future-work direction:
+// mutable applications whose operators can be rearranged by associativity
+// and commutativity (e.g. chains of joins or aggregations). For such an
+// application only the *set* of input objects is fixed; the combining tree
+// is free.
+//
+// Because an operator's output size is delta_l + delta_r, the total
+// intermediate data volume of a combining tree over fixed leaves is
+// sum_over_leaves(size * depth) — exactly the weighted external path
+// length a Huffman tree minimizes. Lower intermediate volumes mean lower
+// w_i = volume^alpha and lower edge traffic, so the Huffman shape is the
+// natural cost-reducing rewrite; Optimize also tries sorted and original
+// left-deep chains and keeps whichever mapping is cheapest.
+package rewrite
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/apptree"
+	"repro/internal/heuristics"
+	"repro/internal/instance"
+)
+
+// Huffman builds the combining tree over the given basic-object types that
+// minimizes the total intermediate data volume, combining the two
+// currently-smallest partial results at each step (sizes indexed by object
+// type). It panics if fewer than two objects are given.
+func Huffman(objects []int, sizes []float64) *apptree.Tree {
+	if len(objects) < 2 {
+		panic("rewrite: Huffman needs at least two objects")
+	}
+	t := &apptree.Tree{}
+	// Each heap node is either a pending leaf (object occurrence) or a
+	// built operator subtree.
+	h := &nodeHeap{}
+	for _, k := range objects {
+		heap.Push(h, node{mass: sizes[k], object: k, op: -1})
+	}
+	for h.Len() > 1 {
+		a := heap.Pop(h).(node)
+		b := heap.Pop(h).(node)
+		id := len(t.Ops)
+		t.Ops = append(t.Ops, apptree.Operator{Parent: apptree.NoParent})
+		attach := func(n node) {
+			if n.op >= 0 {
+				t.Ops[n.op].Parent = id
+				t.Ops[id].ChildOps = append(t.Ops[id].ChildOps, n.op)
+				return
+			}
+			li := len(t.Leaves)
+			t.Leaves = append(t.Leaves, apptree.Leaf{Object: n.object, Parent: id})
+			t.Ops[id].Leaves = append(t.Ops[id].Leaves, li)
+		}
+		attach(a)
+		attach(b)
+		heap.Push(h, node{mass: a.mass + b.mass, op: id})
+	}
+	t.Root = heap.Pop(h).(node).op
+	return t
+}
+
+type node struct {
+	mass   float64
+	object int
+	op     int // -1 for a leaf
+}
+
+type nodeHeap []node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].mass != h[j].mass {
+		return h[i].mass < h[j].mass
+	}
+	// Deterministic tie-breaking: leaves before operators, then by id.
+	if (h[i].op < 0) != (h[j].op < 0) {
+		return h[i].op < 0
+	}
+	if h[i].op != h[j].op {
+		return h[i].op < h[j].op
+	}
+	return h[i].object < h[j].object
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(node)) }
+func (h *nodeHeap) Pop() any     { old := *h; n := old[len(old)-1]; *h = old[:len(old)-1]; return n }
+
+// Volume returns the total intermediate data volume of a tree: the sum of
+// delta_i over all operators, which the Huffman shape minimizes.
+func Volume(t *apptree.Tree, sizes []float64) float64 {
+	_, delta := t.Derive(sizes, 1)
+	v := 0.0
+	for _, d := range delta {
+		v += d
+	}
+	return v
+}
+
+// Candidate is one rewriting with its solved cost.
+type Candidate struct {
+	Name   string
+	Tree   *apptree.Tree
+	Result *heuristics.Result // nil when infeasible
+	Err    error
+}
+
+// Optimize treats the instance's application as mutable: its leaf objects
+// are recombined as (a) the original tree, (b) a left-deep chain in
+// non-decreasing size order, and (c) the Huffman tree, each solved with
+// the given heuristic; candidates are returned sorted by cost (infeasible
+// last) so the first entry is the recommended rewrite.
+func Optimize(in *instance.Instance, h heuristics.Heuristic, opts heuristics.Options) ([]Candidate, error) {
+	objects := make([]int, 0, in.Tree.NumLeaves())
+	for _, l := range in.Tree.Leaves {
+		objects = append(objects, l.Object)
+	}
+	if len(objects) < 2 {
+		return nil, fmt.Errorf("rewrite: application has fewer than two inputs")
+	}
+	sortedObjs := append([]int(nil), objects...)
+	sort.Slice(sortedObjs, func(a, b int) bool {
+		if in.Sizes[sortedObjs[a]] != in.Sizes[sortedObjs[b]] {
+			return in.Sizes[sortedObjs[a]] < in.Sizes[sortedObjs[b]]
+		}
+		return sortedObjs[a] < sortedObjs[b]
+	})
+
+	cands := []Candidate{
+		{Name: "original", Tree: in.Tree},
+		{Name: "sorted-chain", Tree: apptree.LeftDeep(sortedObjs)},
+		{Name: "huffman", Tree: Huffman(objects, in.Sizes)},
+	}
+	for i := range cands {
+		variant := *in
+		variant.Tree = cands[i].Tree
+		variant.Refresh()
+		if err := variant.Validate(); err != nil {
+			return nil, fmt.Errorf("rewrite: %s variant invalid: %v", cands[i].Name, err)
+		}
+		cands[i].Result, cands[i].Err = heuristics.Solve(&variant, h, opts)
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		ca, cb := cands[a], cands[b]
+		switch {
+		case ca.Err == nil && cb.Err == nil:
+			return ca.Result.Cost < cb.Result.Cost
+		case ca.Err == nil:
+			return true
+		default:
+			return false
+		}
+	})
+	if cands[0].Err != nil {
+		return cands, fmt.Errorf("rewrite: no variant is feasible: %w", cands[0].Err)
+	}
+	return cands, nil
+}

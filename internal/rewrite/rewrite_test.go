@@ -1,0 +1,130 @@
+package rewrite
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/apptree"
+	"repro/internal/heuristics"
+	"repro/internal/instance"
+	"repro/internal/rng"
+)
+
+func TestHuffmanClassic(t *testing.T) {
+	// Sizes {1,2,3,4}: optimal volume = classic Huffman cost:
+	// combine 1+2=3, 3+3=6, 6+4=10 -> total intermediate = 3+6+10 = 19.
+	sizes := []float64{1, 2, 3, 4}
+	tr := Huffman([]int{0, 1, 2, 3}, sizes)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := Volume(tr, sizes); math.Abs(got-19) > 1e-9 {
+		t.Fatalf("Huffman volume = %v, want 19", got)
+	}
+}
+
+func TestHuffmanBeatsWorstChain(t *testing.T) {
+	// A chain in descending order maximizes intermediate volume; Huffman
+	// must be at most the best chain.
+	sizes := []float64{1, 5, 10, 20, 40}
+	objs := []int{0, 1, 2, 3, 4}
+	huff := Volume(Huffman(objs, sizes), sizes)
+	desc := Volume(apptree.LeftDeep([]int{4, 3, 2, 1, 0}), sizes)
+	asc := Volume(apptree.LeftDeep(objs), sizes)
+	if huff > asc+1e-9 || huff > desc+1e-9 {
+		t.Fatalf("huffman %v worse than chains asc=%v desc=%v", huff, asc, desc)
+	}
+}
+
+func TestHuffmanOptimalProperty(t *testing.T) {
+	// Property: no random alternative tree over the same leaves has lower
+	// total intermediate volume (checked against random binary shapes).
+	f := func(seed int64) bool {
+		r := rng.New(seed)
+		n := 3 + r.Intn(6) // 3..8 leaves
+		sizes := make([]float64, n)
+		objs := make([]int, n)
+		for i := range sizes {
+			sizes[i] = rng.UniformIn(r, 1, 100)
+			objs[i] = i
+		}
+		best := Volume(Huffman(objs, sizes), sizes)
+		// Random alternative: shuffle objects into a random tree via
+		// apptree.Random shape with relabelled leaves.
+		alt := apptree.Random(r, n-1, n)
+		// Relabel the alt tree's leaves with a permutation of objs.
+		perm := r.Perm(n)
+		for li := range alt.Leaves {
+			alt.Leaves[li].Object = objs[perm[li]]
+		}
+		return best <= Volume(alt, sizes)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHuffmanPanicsOnSingle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Huffman([]int{0}, []float64{1})
+}
+
+func TestOptimizeReducesOrMatchesCost(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		in := instance.Generate(instance.Config{NumOps: 20, Alpha: 1.6}, seed)
+		cands, err := Optimize(in, heuristics.SubtreeBottomUp{}, heuristics.Options{Seed: seed})
+		if err != nil {
+			continue // all variants infeasible at this alpha is acceptable
+		}
+		var origCost float64 = math.Inf(1)
+		for _, c := range cands {
+			if c.Name == "original" && c.Err == nil {
+				origCost = c.Result.Cost
+			}
+		}
+		if cands[0].Err != nil {
+			t.Fatalf("seed %d: sorted candidates start with a failure", seed)
+		}
+		if cands[0].Result.Cost > origCost+1e-9 {
+			t.Fatalf("seed %d: best rewrite %v worse than original %v", seed, cands[0].Result.Cost, origCost)
+		}
+		if err := cands[0].Result.Mapping.Validate(); err != nil {
+			t.Fatalf("seed %d: best rewrite mapping invalid: %v", seed, err)
+		}
+	}
+}
+
+func TestOptimizeExtendsFeasibility(t *testing.T) {
+	// At high alpha the original random tree's root operator can exceed
+	// the fastest CPU while the Huffman rewrite (smaller intermediate
+	// results) stays feasible. Find at least one such seed.
+	extended := false
+	for seed := int64(0); seed < 20 && !extended; seed++ {
+		in := instance.Generate(instance.Config{NumOps: 30, Alpha: 1.85}, seed)
+		_, origErr := heuristics.Solve(in, heuristics.SubtreeBottomUp{}, heuristics.Options{Seed: seed})
+		cands, err := Optimize(in, heuristics.SubtreeBottomUp{}, heuristics.Options{Seed: seed})
+		if origErr != nil && err == nil && cands[0].Err == nil {
+			extended = true
+		}
+	}
+	if !extended {
+		t.Skip("no seed demonstrated feasibility extension (acceptable; depends on calibration)")
+	}
+}
+
+func TestVolumeMatchesDerive(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 10}, 1)
+	v := Volume(in.Tree, in.Sizes)
+	sum := 0.0
+	for _, d := range in.Delta {
+		sum += d
+	}
+	if math.Abs(v-sum) > 1e-9 {
+		t.Fatalf("Volume = %v, want %v", v, sum)
+	}
+}

@@ -1,0 +1,53 @@
+// Package rng provides small deterministic random-number helpers used by
+// the instance generators and experiments.
+//
+// Every experiment in this repository is reproducible from a single int64
+// seed. Sub-streams are derived with SplitMix64 so that, e.g., the tree
+// shape, the object sizes, and the server placement of one instance are
+// decorrelated yet individually stable when other parameters change.
+package rng
+
+import "math/rand"
+
+// SplitMix64 advances and hashes a 64-bit state. It is the standard
+// splitmix64 finalizer (Steele et al.), good enough to seed independent
+// math/rand streams.
+func SplitMix64(state uint64) uint64 {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Derive returns a new seeded *rand.Rand whose stream is a deterministic
+// function of (seed, label). Distinct labels give decorrelated streams.
+func Derive(seed int64, label string) *rand.Rand {
+	h := uint64(seed)
+	for _, b := range []byte(label) {
+		h = SplitMix64(h ^ uint64(b))
+	}
+	return rand.New(rand.NewSource(int64(SplitMix64(h))))
+}
+
+// New returns a seeded *rand.Rand.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// UniformIn returns a pseudo-random float64 in [lo, hi) drawn from r.
+func UniformIn(r *rand.Rand, lo, hi float64) float64 {
+	return lo + r.Float64()*(hi-lo)
+}
+
+// PickDistinct returns k distinct pseudo-random integers in [0, n),
+// in random order. It panics if k > n or k < 0.
+func PickDistinct(r *rand.Rand, n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: PickDistinct: k out of range")
+	}
+	perm := r.Perm(n)
+	out := make([]int, k)
+	copy(out, perm[:k])
+	return out
+}

@@ -1,0 +1,107 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	if SplitMix64(42) != SplitMix64(42) {
+		t.Fatal("SplitMix64 is not deterministic")
+	}
+	if SplitMix64(42) == SplitMix64(43) {
+		t.Fatal("SplitMix64(42) == SplitMix64(43): suspicious collision")
+	}
+}
+
+func TestSplitMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	base := SplitMix64(0x123456789abcdef)
+	flip := SplitMix64(0x123456789abcdee)
+	diff := base ^ flip
+	ones := 0
+	for diff != 0 {
+		ones += int(diff & 1)
+		diff >>= 1
+	}
+	if ones < 16 || ones > 48 {
+		t.Fatalf("poor avalanche: %d differing bits", ones)
+	}
+}
+
+func TestDeriveIndependentStreams(t *testing.T) {
+	a := Derive(1, "tree")
+	b := Derive(1, "sizes")
+	c := Derive(1, "tree")
+	va, vb, vc := a.Int63(), b.Int63(), c.Int63()
+	if va != vc {
+		t.Fatalf("same (seed,label) gave different streams: %d vs %d", va, vc)
+	}
+	if va == vb {
+		t.Fatalf("different labels gave identical streams: %d", va)
+	}
+}
+
+func TestDeriveDifferentSeeds(t *testing.T) {
+	if Derive(1, "x").Int63() == Derive(2, "x").Int63() {
+		t.Fatal("different seeds gave identical streams")
+	}
+}
+
+func TestUniformInRange(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 1000; i++ {
+		v := UniformIn(r, 5, 30)
+		if v < 5 || v >= 30 {
+			t.Fatalf("UniformIn out of range: %v", v)
+		}
+	}
+}
+
+func TestPickDistinct(t *testing.T) {
+	r := New(11)
+	for k := 0; k <= 6; k++ {
+		got := PickDistinct(r, 6, k)
+		if len(got) != k {
+			t.Fatalf("PickDistinct(6,%d) returned %d values", k, len(got))
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= 6 {
+				t.Fatalf("value out of range: %d", v)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate value: %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPickDistinctPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	PickDistinct(New(1), 3, 4)
+}
+
+func TestPickDistinctProperty(t *testing.T) {
+	f := func(seed int64, n, k uint8) bool {
+		nn := int(n%20) + 1
+		kk := int(k) % (nn + 1)
+		got := PickDistinct(New(seed), nn, kk)
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= nn || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(got) == kk
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

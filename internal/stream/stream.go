@@ -1,0 +1,466 @@
+// Package stream executes a mapped operator tree in simulated time and
+// measures the throughput it actually sustains, providing an independent
+// dynamic check of the paper's steady-state constraint system.
+//
+// The execution model follows the paper's Section 2: every operator runs
+// as a pipelined stage on its processor — while a processor computes the
+// t-th result of an operator, it receives inputs for the (t+1)-th and
+// sends the (t-1)-th output to the parent, all concurrently (full
+// overlap). Computation shares a processor's CPU equally among its active
+// operators (processor sharing); transfers share NIC and link bandwidth
+// max-min fairly under the bounded multi-port model (package flow);
+// basic-object downloads are a constant background load that permanently
+// reserves NIC bandwidth.
+//
+// For any mapping that satisfies constraints (1)-(5) at throughput rho,
+// the measured steady-state throughput converges to at least rho (the
+// bottleneck stage rate); integration tests assert this on every
+// heuristic's output.
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/apptree"
+	"repro/internal/desim"
+	"repro/internal/flow"
+	"repro/internal/mapping"
+)
+
+// Options tunes a simulation run.
+type Options struct {
+	Results   int   // root results to complete (default 120)
+	Warmup    int   // leading results excluded from the measurement (default Results/3)
+	Credits   int   // how far any operator may run ahead of its parent (default 8)
+	MaxEvents int64 // event budget (default 2,000,000)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Results <= 0 {
+		o.Results = 120
+	}
+	if o.Warmup <= 0 || o.Warmup >= o.Results {
+		o.Warmup = o.Results / 3
+	}
+	if o.Credits <= 0 {
+		o.Credits = 8
+	}
+	if o.MaxEvents <= 0 {
+		o.MaxEvents = 2_000_000
+	}
+	return o
+}
+
+// Report is the outcome of a simulation.
+type Report struct {
+	Throughput float64 // measured steady-state root results/s
+	Analytic   float64 // analytic maximum sustainable throughput
+	Completed  int     // root results completed
+	SimTime    float64 // virtual seconds elapsed
+	Events     int64   // simulator events processed
+}
+
+// AnalyticMaxThroughput returns the largest rho' at which the mapping's
+// constraint system still holds, treating download rates as fixed (they do
+// not scale with throughput) and communication as linear in rho'. It
+// returns 0 when the fixed download load alone violates a constraint and
+// +Inf only for empty mappings.
+func AnalyticMaxThroughput(m *mapping.Mapping) float64 {
+	in := m.Inst
+	cat := in.Platform.Catalog
+	best := math.Inf(1)
+	procs := m.AliveProcs()
+	for _, p := range procs {
+		work := 0.0 // at rho = 1
+		for _, op := range m.OpsOn(p) {
+			work += in.W[op]
+		}
+		if work > 0 {
+			best = math.Min(best, cat.SpeedUnits(m.Procs[p].Config)/work)
+		}
+		dl := m.DownloadLoad(p)
+		residual := cat.BandwidthMBps(m.Procs[p].Config) - dl
+		comm := commAtUnitRho(m, p)
+		if comm > 0 {
+			best = math.Min(best, residual/comm)
+		} else if residual < 0 {
+			return 0
+		}
+	}
+	for i, p := range procs {
+		for _, q := range procs[i+1:] {
+			tr := linkAtUnitRho(m, p, q)
+			if tr > 0 {
+				best = math.Min(best, in.Platform.ProcLinkMBps/tr)
+			}
+		}
+	}
+	for l := range in.Platform.Servers {
+		if m.ServerLoad(l) > in.Platform.Servers[l].NICMBps+1e-9 {
+			return 0
+		}
+		for _, p := range procs {
+			if m.ServerLinkLoad(l, p) > in.Platform.ServerLinkMBps+1e-9 {
+				return 0
+			}
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	return best
+}
+
+func commAtUnitRho(m *mapping.Mapping, p int) float64 {
+	in := m.Inst
+	load := 0.0
+	for _, op := range m.OpsOn(p) {
+		for _, c := range in.Tree.Ops[op].ChildOps {
+			if m.OpProc(c) != p {
+				load += in.Delta[c]
+			}
+		}
+		if par := in.Tree.Ops[op].Parent; par != apptree.NoParent && m.OpProc(par) != p {
+			load += in.Delta[op]
+		}
+	}
+	return load
+}
+
+func linkAtUnitRho(m *mapping.Mapping, p, q int) float64 {
+	in := m.Inst
+	load := 0.0
+	for _, op := range m.OpsOn(p) {
+		for _, c := range in.Tree.Ops[op].ChildOps {
+			if m.OpProc(c) == q {
+				load += in.Delta[c]
+			}
+		}
+		if par := in.Tree.Ops[op].Parent; par != apptree.NoParent && m.OpProc(par) == q {
+			load += in.Delta[op]
+		}
+	}
+	return load
+}
+
+// engine holds the run-time state of one simulation.
+type engine struct {
+	m   *mapping.Mapping
+	sim desim.Sim
+	opt Options
+
+	// static structure
+	procOf   []int // operator -> processor
+	speed    map[int]float64
+	nicFree  map[int]float64 // NIC capacity minus download background
+	linkBW   float64
+	children [][]int
+
+	// dynamic state
+	nextCompute []int         // per op: next result index it will compute
+	received    []map[int]int // per op: child op -> results delivered
+	computing   []bool        // per op: a compute job is active
+	sendBusy    []bool        // per op: a transfer of its output is in flight
+	sendQueue   []int         // per op: outputs produced but not yet transferred (remote parents only)
+
+	jobs        map[*job]struct{}
+	completions []float64
+	err         error
+}
+
+// orderedJobs returns the active jobs in a deterministic order (kind, op,
+// result) so float accumulation and event tie-breaking are reproducible.
+func (e *engine) orderedJobs() []*job {
+	out := make([]*job, 0, len(e.jobs))
+	for j := range e.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].kind != out[b].kind {
+			return out[a].kind < out[b].kind
+		}
+		if out[a].op != out[b].op {
+			return out[a].op < out[b].op
+		}
+		return out[a].result < out[b].result
+	})
+	return out
+}
+
+type jobKind int
+
+const (
+	jobCompute jobKind = iota
+	jobTransfer
+)
+
+type job struct {
+	kind      jobKind
+	op        int     // computing operator, or sending child for transfers
+	result    int     // result index
+	remaining float64 // work-units or MB
+	rate      float64
+	updated   float64 // sim time of the last remaining-update
+	event     *desim.Event
+}
+
+// Simulate runs the mapping and measures its root throughput.
+func Simulate(m *mapping.Mapping, opt Options) (*Report, error) {
+	if !m.Complete() {
+		return nil, fmt.Errorf("stream: mapping is incomplete")
+	}
+	opt = opt.withDefaults()
+	in := m.Inst
+	n := in.Tree.NumOps()
+	e := &engine{
+		m:           m,
+		opt:         opt,
+		procOf:      make([]int, n),
+		speed:       map[int]float64{},
+		nicFree:     map[int]float64{},
+		linkBW:      in.Platform.ProcLinkMBps,
+		children:    make([][]int, n),
+		nextCompute: make([]int, n),
+		received:    make([]map[int]int, n),
+		computing:   make([]bool, n),
+		sendBusy:    make([]bool, n),
+		sendQueue:   make([]int, n),
+		jobs:        map[*job]struct{}{},
+	}
+	cat := in.Platform.Catalog
+	for op := 0; op < n; op++ {
+		e.procOf[op] = m.OpProc(op)
+		e.children[op] = in.Tree.Ops[op].ChildOps
+		e.received[op] = map[int]int{}
+	}
+	for _, p := range m.AliveProcs() {
+		e.speed[p] = cat.SpeedUnits(m.Procs[p].Config)
+		e.nicFree[p] = cat.BandwidthMBps(m.Procs[p].Config) - m.DownloadLoad(p)
+		if e.nicFree[p] < 0 {
+			return nil, fmt.Errorf("stream: processor %d downloads exceed its NIC", p)
+		}
+	}
+
+	// Kick off every operator that can compute its first result.
+	for op := 0; op < n; op++ {
+		e.tryStartCompute(op)
+	}
+	e.reflow()
+
+	for e.err == nil && len(e.completions) < opt.Results {
+		if e.sim.Processed() >= opt.MaxEvents {
+			return nil, fmt.Errorf("stream: event budget exhausted after %d results", len(e.completions))
+		}
+		if !e.sim.Step() {
+			return nil, fmt.Errorf("stream: deadlock after %d results", len(e.completions))
+		}
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+
+	first, last := e.completions[opt.Warmup], e.completions[len(e.completions)-1]
+	measured := math.Inf(1)
+	if last > first {
+		measured = float64(len(e.completions)-1-opt.Warmup) / (last - first)
+	}
+	return &Report{
+		Throughput: measured,
+		Analytic:   AnalyticMaxThroughput(m),
+		Completed:  len(e.completions),
+		SimTime:    e.sim.Now(),
+		Events:     e.sim.Processed(),
+	}, nil
+}
+
+// canCompute checks input availability and pipeline credits for op's next
+// result.
+func (e *engine) canCompute(op int) bool {
+	t := e.nextCompute[op]
+	if e.computing[op] {
+		return false
+	}
+	// Credit: do not run more than Credits results ahead of the parent.
+	if par := e.m.Inst.Tree.Ops[op].Parent; par != apptree.NoParent {
+		if t >= e.nextCompute[par]+e.opt.Credits {
+			return false
+		}
+	}
+	// Back-pressure: an unbounded send queue means the transfer path is
+	// the bottleneck; stall computation once the queue holds Credits
+	// outputs so the simulation reaches a finite steady state.
+	if e.sendQueue[op] >= e.opt.Credits {
+		return false
+	}
+	for _, c := range e.children[op] {
+		if e.received[op][c] <= t {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *engine) tryStartCompute(op int) {
+	if !e.canCompute(op) {
+		return
+	}
+	e.computing[op] = true
+	j := &job{
+		kind:      jobCompute,
+		op:        op,
+		result:    e.nextCompute[op],
+		remaining: e.m.Inst.W[op],
+		updated:   e.sim.Now(),
+	}
+	e.jobs[j] = struct{}{}
+}
+
+// computeDone handles the completion of op's result t.
+func (e *engine) computeDone(op, t int) {
+	e.computing[op] = false
+	e.nextCompute[op] = t + 1
+	in := e.m.Inst
+	par := in.Tree.Ops[op].Parent
+	if par == apptree.NoParent {
+		e.completions = append(e.completions, e.sim.Now())
+	} else if e.procOf[par] == e.procOf[op] {
+		e.received[par][op] = t + 1
+		e.tryStartCompute(par)
+	} else {
+		e.sendQueue[op]++
+		e.tryStartTransfer(op)
+	}
+	// This operator may proceed, and its children may have been waiting on
+	// the parent-credit.
+	e.tryStartCompute(op)
+	for _, c := range e.children[op] {
+		e.tryStartCompute(c)
+	}
+}
+
+// tryStartTransfer starts the next queued output transfer of op to its
+// (remote) parent; one transfer per edge at a time.
+func (e *engine) tryStartTransfer(op int) {
+	if e.sendBusy[op] || e.sendQueue[op] == 0 {
+		return
+	}
+	e.sendBusy[op] = true
+	e.sendQueue[op]--
+	t := e.nextCompute[op] - 1 - e.sendQueue[op] // oldest unsent result
+	j := &job{
+		kind:      jobTransfer,
+		op:        op,
+		result:    t,
+		remaining: e.m.Inst.Delta[op],
+		updated:   e.sim.Now(),
+	}
+	e.jobs[j] = struct{}{}
+}
+
+func (e *engine) transferDone(op, t int) {
+	e.sendBusy[op] = false
+	par := e.m.Inst.Tree.Ops[op].Parent
+	e.received[par][op] = t + 1
+	e.tryStartCompute(par)
+	e.tryStartTransfer(op)
+	e.tryStartCompute(op)
+}
+
+// reflow recomputes every active job's progress and rate and reschedules
+// completion events. Called after any state change.
+func (e *engine) reflow() {
+	now := e.sim.Now()
+	ordered := e.orderedJobs()
+	// Settle progress under the old rates.
+	for _, j := range ordered {
+		if j.rate > 0 {
+			j.remaining -= j.rate * (now - j.updated)
+			if j.remaining < 0 {
+				j.remaining = 0
+			}
+		}
+		j.updated = now
+		if j.event != nil {
+			e.sim.Cancel(j.event)
+			j.event = nil
+		}
+	}
+
+	// CPU rates: processor sharing per processor.
+	active := map[int]int{}
+	for _, j := range ordered {
+		if j.kind == jobCompute {
+			active[e.procOf[j.op]]++
+		}
+	}
+	// Transfer rates: max-min over NIC and link resources.
+	var transfers []*job
+	for _, j := range ordered {
+		if j.kind == jobTransfer {
+			transfers = append(transfers, j)
+		}
+	}
+	rates := map[*job]float64{}
+	if len(transfers) > 0 {
+		resIndex := map[string]int{}
+		var caps []float64
+		resource := func(name string, cap float64) int {
+			if i, ok := resIndex[name]; ok {
+				return i
+			}
+			resIndex[name] = len(caps)
+			caps = append(caps, cap)
+			return len(caps) - 1
+		}
+		flows := make([]flow.Flow, len(transfers))
+		for i, j := range transfers {
+			from := e.procOf[j.op]
+			to := e.procOf[e.m.Inst.Tree.Ops[j.op].Parent]
+			a, b := from, to
+			if a > b {
+				a, b = b, a
+			}
+			flows[i].Resources = []int{
+				resource(fmt.Sprintf("nic%d", from), e.nicFree[from]),
+				resource(fmt.Sprintf("nic%d", to), e.nicFree[to]),
+				resource(fmt.Sprintf("link%d-%d", a, b), e.linkBW),
+			}
+		}
+		got, err := flow.MaxMin(caps, flows)
+		if err != nil {
+			e.err = fmt.Errorf("stream: %v", err)
+			return
+		}
+		for i, j := range transfers {
+			rates[j] = got[i]
+		}
+	}
+
+	for _, j := range ordered {
+		switch j.kind {
+		case jobCompute:
+			j.rate = e.speed[e.procOf[j.op]] / float64(active[e.procOf[j.op]])
+		case jobTransfer:
+			j.rate = rates[j]
+		}
+		if j.rate <= 0 {
+			e.err = fmt.Errorf("stream: job stalled at zero rate (op %d)", j.op)
+			return
+		}
+		jj := j
+		j.event = e.sim.After(j.remaining/j.rate, func() { e.finish(jj) })
+	}
+}
+
+func (e *engine) finish(j *job) {
+	delete(e.jobs, j)
+	switch j.kind {
+	case jobCompute:
+		e.computeDone(j.op, j.result)
+	case jobTransfer:
+		e.transferDone(j.op, j.result)
+	}
+	e.reflow()
+}

@@ -1,0 +1,199 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apptree"
+	"repro/internal/heuristics"
+	"repro/internal/instance"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+)
+
+// paperInstance is the Figure 1(a) tree with sizes {10,20,30} MB, f=1/2,
+// alpha=1, rho=1 (same fixture as the mapping tests).
+func paperInstance() *instance.Instance {
+	t := &apptree.Tree{}
+	t.Ops = make([]apptree.Operator, 5)
+	t.Root = 3
+	t.Ops[3] = apptree.Operator{Parent: apptree.NoParent, ChildOps: []int{4, 2}}
+	t.Ops[4] = apptree.Operator{Parent: 3, ChildOps: []int{1, 0}}
+	t.Ops[2] = apptree.Operator{Parent: 3}
+	t.Ops[1] = apptree.Operator{Parent: 4}
+	t.Ops[0] = apptree.Operator{Parent: 4}
+	addLeaf := func(op, obj int) {
+		li := len(t.Leaves)
+		t.Leaves = append(t.Leaves, apptree.Leaf{Object: obj, Parent: op})
+		t.Ops[op].Leaves = append(t.Ops[op].Leaves, li)
+	}
+	addLeaf(1, 0)
+	addLeaf(0, 0)
+	addLeaf(0, 1)
+	addLeaf(2, 1)
+	addLeaf(2, 2)
+	in := &instance.Instance{
+		Tree:     t,
+		NumTypes: 3,
+		Sizes:    []float64{10, 20, 30},
+		Freqs:    []float64{0.5, 0.5, 0.5},
+		Holders:  [][]int{{0}, {0, 1}, {2}},
+		Platform: platform.DefaultPlatform(),
+		Rho:      1,
+		Alpha:    1,
+	}
+	in.Refresh()
+	return in
+}
+
+func onePlacement(in *instance.Instance) *mapping.Mapping {
+	m := mapping.New(in)
+	p := m.Buy(in.Platform.Catalog.MostExpensive())
+	for op := range in.Tree.Ops {
+		m.Place(op, p)
+	}
+	for _, k := range m.NeededObjects(p) {
+		m.SelectServer(p, k, in.Holders[k][0])
+	}
+	return m
+}
+
+func TestSingleProcessorThroughput(t *testing.T) {
+	in := paperInstance()
+	m := onePlacement(in)
+	rep, err := Simulate(m, Options{Results: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One processor, no transfers: steady state is work-conserving, so
+	// throughput = speed / total work = 281280 / 220 = 1278.5 results/s.
+	want := 281280.0 / 220.0
+	if math.Abs(rep.Throughput-want)/want > 0.05 {
+		t.Fatalf("throughput = %v, want ~%v", rep.Throughput, want)
+	}
+	if math.Abs(rep.Analytic-want)/want > 1e-9 {
+		t.Fatalf("analytic = %v, want %v", rep.Analytic, want)
+	}
+}
+
+func TestTransferBottleneck(t *testing.T) {
+	// n3 alone on a second processor: the crossing edge carries delta=50 MB
+	// per result over a 1000 MB/s link, one transfer at a time, capping
+	// throughput at 20 results/s.
+	in := paperInstance()
+	m := mapping.New(in)
+	p := m.Buy(in.Platform.Catalog.MostExpensive())
+	q := m.Buy(in.Platform.Catalog.MostExpensive())
+	for _, op := range []int{0, 1, 3, 4} {
+		m.Place(op, p)
+	}
+	m.Place(2, q)
+	for _, pp := range []int{p, q} {
+		for _, k := range m.NeededObjects(pp) {
+			m.SelectServer(pp, k, in.Holders[k][0])
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Simulate(m, Options{Results: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Analytic-20) > 1e-6 {
+		t.Fatalf("analytic = %v, want 20", rep.Analytic)
+	}
+	if math.Abs(rep.Throughput-20)/20 > 0.10 {
+		t.Fatalf("throughput = %v, want ~20", rep.Throughput)
+	}
+}
+
+func TestMeetsRhoOnHeuristicMappings(t *testing.T) {
+	// The headline validation (experiment V1): every feasible mapping a
+	// heuristic produces sustains the target throughput dynamically.
+	for seed := int64(0); seed < 4; seed++ {
+		in := instance.Generate(instance.Config{NumOps: 20, Alpha: 1.3}, seed)
+		for _, h := range heuristics.All() {
+			res, err := heuristics.Solve(in, h, heuristics.Options{Seed: seed})
+			if err != nil {
+				continue
+			}
+			rep, err := Simulate(res.Mapping, Options{Results: 90})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", h.Name(), seed, err)
+			}
+			if rep.Analytic < in.Rho-1e-6 {
+				t.Fatalf("%s seed %d: analytic max %v below rho %v", h.Name(), seed, rep.Analytic, in.Rho)
+			}
+			if rep.Throughput < 0.9*in.Rho {
+				t.Fatalf("%s seed %d: measured throughput %v below 0.9*rho", h.Name(), seed, rep.Throughput)
+			}
+		}
+	}
+}
+
+func TestAnalyticZeroOnServerOverload(t *testing.T) {
+	in := paperInstance()
+	m := onePlacement(in)
+	in.Platform.Servers[0].NICMBps = 1 // downloads exceed the server NIC
+	if got := AnalyticMaxThroughput(m); got != 0 {
+		t.Fatalf("analytic = %v, want 0", got)
+	}
+}
+
+func TestIncompleteMappingRejected(t *testing.T) {
+	in := paperInstance()
+	m := mapping.New(in)
+	if _, err := Simulate(m, Options{}); err == nil {
+		t.Fatal("incomplete mapping accepted")
+	}
+}
+
+func TestDeterministicSimulation(t *testing.T) {
+	in := paperInstance()
+	a, err := Simulate(onePlacement(in), Options{Results: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(onePlacement(in), Options{Results: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.SimTime != b.SimTime {
+		t.Fatal("simulation is not deterministic")
+	}
+}
+
+func TestCreditsLimitPipelineDepth(t *testing.T) {
+	in := paperInstance()
+	m := onePlacement(in)
+	rep, err := Simulate(m, Options{Results: 60, Credits: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With depth-1 credits the pipeline still progresses (no deadlock)
+	// and throughput is positive.
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput = %v", rep.Throughput)
+	}
+}
+
+func TestThroughputScalesWithSpeed(t *testing.T) {
+	in := paperInstance()
+	m := onePlacement(in)
+	fast, err := Simulate(m, Options{Results: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same mapping on the slowest CPU: throughput scales by 11.72/46.88.
+	m.Procs[0].Config = platform.Config{CPU: 0, NIC: 4}
+	slow, err := Simulate(m, Options{Results: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := slow.Throughput / fast.Throughput
+	want := 11.72 / 46.88
+	if math.Abs(ratio-want)/want > 0.05 {
+		t.Fatalf("speed scaling ratio = %v, want ~%v", ratio, want)
+	}
+}

@@ -1,0 +1,56 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotBasics(t *testing.T) {
+	out := Plot("demo", []Series{
+		{Label: "linear", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Label: "flat", X: []float64{0, 1, 2, 3}, Y: []float64{1, 1, 1, 1}},
+	}, 40, 10)
+	for _, want := range []string{"demo", "linear", "flat", "*", "+"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlotHandlesNaN(t *testing.T) {
+	out := Plot("gaps", []Series{
+		{Label: "s", X: []float64{0, 1, 2}, Y: []float64{1, math.NaN(), 3}},
+	}, 30, 8)
+	if !strings.Contains(out, "s") {
+		t.Fatalf("plot broken:\n%s", out)
+	}
+}
+
+func TestPlotAllNaN(t *testing.T) {
+	out := Plot("empty", []Series{
+		{Label: "s", X: []float64{0, 1}, Y: []float64{math.NaN(), math.NaN()}},
+	}, 30, 8)
+	if !strings.Contains(out, "no feasible points") {
+		t.Fatalf("expected empty-plot message:\n%s", out)
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	// Degenerate ranges (single point) must not divide by zero.
+	out := Plot("const", []Series{
+		{Label: "point", X: []float64{5}, Y: []float64{7}},
+	}, 30, 8)
+	if !strings.Contains(out, "point") {
+		t.Fatalf("plot broken:\n%s", out)
+	}
+}
+
+func TestMinimumDimensions(t *testing.T) {
+	out := Plot("tiny", []Series{
+		{Label: "s", X: []float64{0, 1}, Y: []float64{0, 1}},
+	}, 1, 1)
+	if len(out) == 0 {
+		t.Fatal("empty output")
+	}
+}

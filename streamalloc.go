@@ -1,0 +1,126 @@
+// Package streamalloc is a Go reproduction of "Resource Allocation
+// Strategies for Constructive In-Network Stream Processing" (Benoit,
+// Casanova, Rehn-Sonigo, Robert — IPDPS/APDCM 2009).
+//
+// The library answers the paper's question: given an application that is a
+// binary tree of operators over continuously-updated basic objects, which
+// processors should be purchased from a price catalog, and how should
+// operators be mapped onto them, so that a target result throughput rho is
+// sustained at minimum platform cost?
+//
+// # Quick start
+//
+//	in := streamalloc.Generate(streamalloc.InstanceConfig{NumOps: 40, Alpha: 0.9}, 42)
+//	var solver streamalloc.Solver
+//	res, err := solver.Best(in)         // cheapest feasible mapping
+//	rep, err := streamalloc.Verify(res, streamalloc.SimOptions{}) // run it
+//
+// # Components
+//
+// The public surface re-exports the internal packages:
+//
+//   - instance generation per the paper's Section 5 methodology,
+//   - the six placement heuristics of Section 4 plus server selection and
+//     the downgrade step,
+//   - independent constraint validation (Section 2.3, equations (1)-(5)),
+//   - cost lower bounds, an exact solver and an ILP (CPLEX substitute)
+//     for small homogeneous instances,
+//   - a discrete-event stream engine that executes mappings and measures
+//     the throughput they sustain,
+//   - the experiment harness that regenerates every figure and table.
+package streamalloc
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/heuristics"
+	"repro/internal/instance"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/stream"
+)
+
+// Re-exported model types.
+type (
+	// Instance is a complete problem: tree, objects, platform, rho.
+	Instance = instance.Instance
+	// InstanceConfig parameterizes Generate.
+	InstanceConfig = instance.Config
+	// Platform is the purchase catalog plus the fixed data servers.
+	Platform = platform.Platform
+	// Catalog is the set of purchasable CPU and NIC options (Table 1).
+	Catalog = platform.Catalog
+	// Mapping is an operator-to-processor allocation.
+	Mapping = mapping.Mapping
+	// Result is a validated heuristic solution.
+	Result = heuristics.Result
+	// Options tunes the solve pipeline (server selection, downgrade, seed).
+	Options = heuristics.Options
+	// Solver orchestrates the pipeline.
+	Solver = core.Solver
+	// Outcome pairs a heuristic with its result on one instance.
+	Outcome = core.Outcome
+	// SimOptions tunes the stream-engine execution.
+	SimOptions = stream.Options
+	// SimReport is the stream engine's measurement.
+	SimReport = stream.Report
+)
+
+// Generate builds a random instance per the paper's methodology; see
+// InstanceConfig for the knobs (zero values mean the paper's defaults).
+func Generate(cfg InstanceConfig, seed int64) *Instance {
+	return instance.Generate(cfg, seed)
+}
+
+// DefaultPlatform returns the paper's Section 5 platform: 6 data servers
+// with 10 GB/s NICs, 1 GB/s links, and the Table 1 purchase catalog.
+func DefaultPlatform() *Platform { return platform.DefaultPlatform() }
+
+// HomogeneousPlatform returns a CONSTR-HOM platform built from the given
+// CPU and NIC rows (0-4) of the default catalog.
+func HomogeneousPlatform(cpu, nic int) *Platform {
+	p := platform.DefaultPlatform()
+	p.Catalog = platform.Homogeneous(cpu, nic)
+	return p
+}
+
+// Heuristics lists the six placement heuristic names in the paper's order.
+func Heuristics() []string { return core.Heuristics() }
+
+// Solve runs one named heuristic with default options.
+func Solve(in *Instance, heuristic string) (*Result, error) {
+	var s Solver
+	return s.Solve(in, heuristic)
+}
+
+// Validate re-checks a mapping against all five steady-state constraints
+// plus structural completeness; nil means feasible.
+func Validate(m *Mapping) error { return m.Validate() }
+
+// LowerBound returns a provable lower bound on the platform cost ($).
+func LowerBound(in *Instance) float64 { return core.LowerBound(in) }
+
+// Verify executes a result on the stream engine and confirms the measured
+// throughput reaches the instance's target rho.
+func Verify(res *Result, opt SimOptions) (*SimReport, error) {
+	return core.Verify(res, opt)
+}
+
+// Simulate measures the steady-state throughput of an arbitrary complete
+// mapping without asserting the QoS target.
+func Simulate(m *Mapping, opt SimOptions) (*SimReport, error) {
+	return stream.Simulate(m, opt)
+}
+
+// MaxThroughput returns the analytic maximum throughput a mapping
+// sustains under the constraint system.
+func MaxThroughput(m *Mapping) float64 { return stream.AnalyticMaxThroughput(m) }
+
+// IsInfeasible reports whether an error from Solve/Best means "no feasible
+// mapping" rather than misuse.
+func IsInfeasible(err error) bool { return core.IsInfeasible(err) }
+
+// NewRand returns a seeded math/rand generator; exported for examples that
+// build custom workloads deterministically.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,71 @@
+package streamalloc_test
+
+import (
+	"testing"
+
+	streamalloc "repro"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	in := streamalloc.Generate(streamalloc.InstanceConfig{NumOps: 20, Alpha: 1.0}, 7)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var s streamalloc.Solver
+	best, err := s.Best(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := streamalloc.Validate(best.Mapping); err != nil {
+		t.Fatal(err)
+	}
+	if lb := streamalloc.LowerBound(in); best.Cost < lb {
+		t.Fatalf("cost %v below lower bound %v", best.Cost, lb)
+	}
+	rep, err := streamalloc.Verify(best, streamalloc.SimOptions{Results: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput < in.Rho {
+		t.Fatalf("throughput %v below rho %v", rep.Throughput, in.Rho)
+	}
+	if mt := streamalloc.MaxThroughput(best.Mapping); mt < in.Rho {
+		t.Fatalf("analytic max %v below rho", mt)
+	}
+}
+
+func TestPublicSolveEachHeuristic(t *testing.T) {
+	in := streamalloc.Generate(streamalloc.InstanceConfig{NumOps: 10, Alpha: 0.9}, 3)
+	for _, name := range streamalloc.Heuristics() {
+		res, err := streamalloc.Solve(in, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Heuristic != name {
+			t.Fatalf("result labelled %q, want %q", res.Heuristic, name)
+		}
+	}
+}
+
+func TestPublicInfeasible(t *testing.T) {
+	in := streamalloc.Generate(streamalloc.InstanceConfig{NumOps: 40, Alpha: 3}, 1)
+	_, err := streamalloc.Solve(in, "Comp-Greedy")
+	if err == nil || !streamalloc.IsInfeasible(err) {
+		t.Fatalf("want infeasible, got %v", err)
+	}
+}
+
+func TestHomogeneousPlatform(t *testing.T) {
+	p := streamalloc.HomogeneousPlatform(2, 3)
+	if !p.Catalog.Homogeneous() {
+		t.Fatal("not homogeneous")
+	}
+	in := streamalloc.Generate(streamalloc.InstanceConfig{NumOps: 8, Platform: p}, 1)
+	res, err := streamalloc.Solve(in, "Subtree-bottom-up")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Procs < 1 {
+		t.Fatal("no processors purchased")
+	}
+}
