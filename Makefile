@@ -1,0 +1,30 @@
+# CI and humans invoke identical commands: .github/workflows/ci.yml
+# runs `make lint build test race bench` and nothing else.
+
+GO ?= go
+
+.PHONY: build test race bench fmt lint ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark as a smoke test; drop -benchtime for
+# real measurements (the Serial/Parallel pairs report the pool speedup).
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	gofmt -w .
+
+lint:
+	@fmtdiff="$$(gofmt -l .)"; if [ -n "$$fmtdiff" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtdiff"; exit 1; fi
+	$(GO) vet ./...
+
+ci: lint build test race bench

@@ -6,13 +6,16 @@
 package streamalloc_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
 	"repro/internal/apptree"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/heuristics"
 	"repro/internal/instance"
+	"repro/internal/mapping"
 	"repro/internal/multiapp"
 	"repro/internal/rewrite"
 	"repro/internal/rng"
@@ -129,6 +132,76 @@ func BenchmarkThroughputValidation(b *testing.B) {
 		if _, dup := logOnce.LoadOrStore(tab.ID, true); !dup {
 			b.Logf("\n%s", tab.String())
 		}
+	}
+}
+
+// Parallel-engine benchmarks: the serial/parallel pairs below share one
+// workload, so their ns/op ratio is the speedup of the worker pool.
+// Acceptance: BenchmarkSweepParallel ≥ 2x BenchmarkSweepSerial at 4
+// workers on a 4-core runner (outputs are byte-identical either way —
+// see TestSweepDeterministicAcrossWorkers).
+
+func BenchmarkSweepSerial(b *testing.B) {
+	cfg := benchCfg
+	cfg.Workers = 1
+	for i := 0; i < b.N; i++ {
+		experiments.Fig2a(cfg)
+	}
+}
+
+func BenchmarkSweepParallel(b *testing.B) {
+	cfg := benchCfg
+	cfg.Workers = 4
+	for i := 0; i < b.N; i++ {
+		experiments.Fig2a(cfg)
+	}
+}
+
+func BenchmarkSolveAllSerial(b *testing.B) {
+	in := instance.Generate(instance.Config{NumOps: 60, Alpha: 0.9}, 1)
+	s := core.Solver{Workers: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.SolveAll(in)
+	}
+}
+
+func BenchmarkSolveAllParallel(b *testing.B) {
+	in := instance.Generate(instance.Config{NumOps: 60, Alpha: 0.9}, 1)
+	s := core.Solver{Workers: 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.SolveAll(in)
+	}
+}
+
+func BenchmarkSolveBatch(b *testing.B) {
+	ins := make([]*instance.Instance, 16)
+	for i := range ins {
+		ins[i] = instance.Generate(instance.Config{NumOps: 40, Alpha: 0.9}, int64(i+1))
+	}
+	var s core.Solver // portfolio + batch workers at GOMAXPROCS
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SolveBatch(context.Background(), ins)
+	}
+}
+
+func BenchmarkSimulateBatch(b *testing.B) {
+	var ms []*mapping.Mapping
+	for seed := int64(1); seed <= 8; seed++ {
+		in := instance.Generate(instance.Config{NumOps: 20, Alpha: 1.1}, seed)
+		res, err := heuristics.Solve(in, heuristics.SubtreeBottomUp{}, heuristics.Options{Seed: seed})
+		if err != nil {
+			continue
+		}
+		ms = append(ms, res.Mapping)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stream.SimulateBatch(context.Background(), ms, stream.Options{Results: 60}, 0)
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-seeds N] [-out DIR] [-only ID]
+//	experiments [-seeds N] [-out DIR] [-only ID] [-workers W]
 //
 // IDs: fig2a fig2b fig3 fig3n20 large freq optimal table1 v1 abl-downgrade
 // abl-selection ilpwall (default: all).
@@ -23,9 +23,10 @@ func main() {
 	seeds := flag.Int("seeds", 10, "random instances averaged per data point")
 	out := flag.String("out", "results", "directory for .dat files (empty: skip files)")
 	only := flag.String("only", "", "run a single experiment id")
+	workers := flag.Int("workers", 0, "sweep worker goroutines (0: one per CPU, 1: serial; output is identical)")
 	flag.Parse()
 
-	cfg := experiments.Config{Seeds: *seeds, BaseSeed: 1}
+	cfg := experiments.Config{Seeds: *seeds, BaseSeed: 1, Workers: *workers}
 
 	figures := []struct {
 		id  string

@@ -3,13 +3,16 @@
 //
 // Usage:
 //
-//	streamalloc [-n N] [-alpha A] [-seed S] [-in FILE] [-heuristic NAME|all] [-verify]
+//	streamalloc [-n N] [-alpha A] [-seed S] [-in FILE] [-heuristic NAME|all] [-verify] [-workers W] [-batch B]
 //
 // With -in the instance is loaded from JSON (see cmd/gentree); otherwise a
-// random instance is generated with the paper's defaults.
+// random instance is generated with the paper's defaults. With -batch B the
+// command solves B instances (seeds S..S+B-1) concurrently on W workers and
+// prints one summary line per instance.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,7 +28,17 @@ func main() {
 	inFile := flag.String("in", "", "load instance JSON instead of generating")
 	name := flag.String("heuristic", "all", "heuristic name or 'all'")
 	verify := flag.Bool("verify", false, "execute the best mapping on the stream engine")
+	workers := flag.Int("workers", 0, "solver worker goroutines (0: one per CPU, 1: serial)")
+	batch := flag.Int("batch", 0, "solve this many instances (seeds seed..seed+batch-1) concurrently")
 	flag.Parse()
+
+	if *batch > 0 {
+		if *inFile != "" || *name != "all" {
+			fatal(fmt.Errorf("-batch generates random instances and runs the full portfolio; it cannot be combined with -in or -heuristic"))
+		}
+		runBatch(*batch, *n, *alpha, *seed, *workers, *verify)
+		return
+	}
 
 	var in *streamalloc.Instance
 	if *inFile != "" {
@@ -49,6 +62,7 @@ func main() {
 
 	var solver streamalloc.Solver
 	solver.Options.Seed = *seed
+	solver.Workers = *workers
 
 	var best *streamalloc.Result
 	if *name == "all" {
@@ -90,6 +104,59 @@ func main() {
 		}
 		fmt.Printf("\nstream engine: measured %.2f results/s (target %.2f, analytic max %.2f)\n",
 			rep.Throughput, in.Rho, rep.Analytic)
+	}
+}
+
+// runBatch generates and solves `batch` instances concurrently via
+// SolveBatch, optionally verifying every feasible mapping on the stream
+// engine (also fanned out), and prints one line per instance.
+func runBatch(batch, n int, alpha float64, seed int64, workers int, verify bool) {
+	ins := make([]*streamalloc.Instance, batch)
+	for i := range ins {
+		ins[i] = streamalloc.Generate(streamalloc.InstanceConfig{NumOps: n, Alpha: alpha}, seed+int64(i))
+	}
+	// Each instance solves with its own seed, so every batch line matches
+	// a standalone `streamalloc -seed <that seed>` run exactly.
+	solver := streamalloc.Solver{Workers: workers}
+	results, errs := solver.SolveBatchWith(context.Background(), ins, func(i int) streamalloc.Options {
+		return streamalloc.Options{Seed: seed + int64(i)}
+	})
+
+	var reports []*streamalloc.SimReport
+	var verrs []error
+	if verify {
+		var feasible []*streamalloc.Result
+		for _, res := range results {
+			if res != nil {
+				feasible = append(feasible, res)
+			}
+		}
+		reps, ve := streamalloc.VerifyBatch(context.Background(), feasible, streamalloc.SimOptions{}, workers)
+		reports, verrs = reps, ve
+	}
+
+	solved, vi := 0, 0
+	for i := range ins {
+		if errs[i] != nil {
+			fmt.Printf("seed %-6d INFEASIBLE: %v\n", seed+int64(i), errs[i])
+			continue
+		}
+		solved++
+		line := fmt.Sprintf("seed %-6d %-22s $%-8.0f (%d processors)",
+			seed+int64(i), results[i].Heuristic, results[i].Cost, results[i].Procs)
+		if verify {
+			if verrs[vi] != nil {
+				line += fmt.Sprintf("  verify FAILED: %v", verrs[vi])
+			} else {
+				line += fmt.Sprintf("  verified %.2f results/s", reports[vi].Throughput)
+			}
+			vi++
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("\nbatch: %d/%d feasible\n", solved, batch)
+	if solved == 0 {
+		os.Exit(1)
 	}
 }
 

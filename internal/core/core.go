@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -14,13 +15,23 @@ import (
 	"repro/internal/bounds"
 	"repro/internal/heuristics"
 	"repro/internal/instance"
+	"repro/internal/par"
 	"repro/internal/stream"
 )
 
 // Solver runs the placement pipeline. The zero value uses the paper's
-// defaults (three-loop server selection, downgrade enabled, seed 0).
+// defaults (three-loop server selection, downgrade enabled, seed 0) and
+// one portfolio worker per CPU.
 type Solver struct {
 	Options heuristics.Options
+	// Workers bounds the concurrency of SolveAll, Best and SolveBatch:
+	// <= 0 means runtime.GOMAXPROCS(0), 1 forces the serial path. Each
+	// heuristic derives its own rng substream from Options.Seed, so no
+	// randomness is shared across goroutines: SolveAll returns
+	// identical outcomes at every worker count, and Best's cost is
+	// equally deterministic — though when heuristics tie at the cost
+	// lower bound, which one Best reports may vary (see BestCtx).
+	Workers int
 }
 
 // Solve runs the named heuristic (see Heuristics for valid names).
@@ -40,13 +51,34 @@ type Outcome struct {
 }
 
 // SolveAll runs every paper heuristic and returns the outcomes sorted by
-// cost (failures last, in name order).
+// cost (failures last, in name order). The heuristics run concurrently
+// on s.Workers goroutines; the result is identical to a serial run.
 func (s *Solver) SolveAll(in *instance.Instance) []Outcome {
-	var out []Outcome
-	for _, h := range heuristics.All() {
-		res, err := heuristics.Solve(in, h, s.Options)
-		out = append(out, Outcome{Name: h.Name(), Result: res, Err: err})
+	return s.SolveAllCtx(context.Background(), in)
+}
+
+// SolveAllCtx is SolveAll with cancellation: when ctx is cancelled,
+// heuristics not yet started are skipped and reported as failed with an
+// error wrapping ctx.Err(). Cancellation granularity is one heuristic —
+// in-flight solves run to completion.
+func (s *Solver) SolveAllCtx(ctx context.Context, in *instance.Instance) []Outcome {
+	hs := heuristics.All()
+	out := make([]Outcome, len(hs))
+	done, _ := par.ForEachDone(ctx, s.Workers, len(hs), func(i int) {
+		res, err := heuristics.Solve(in, hs[i], s.Options)
+		out[i] = Outcome{Name: hs[i].Name(), Result: res, Err: err}
+	})
+	for i, h := range hs {
+		if !done[i] {
+			out[i] = Outcome{Name: h.Name(),
+				Err: fmt.Errorf("core: %s skipped: %w", h.Name(), context.Cause(ctx))}
+		}
 	}
+	sortOutcomes(out)
+	return out
+}
+
+func sortOutcomes(out []Outcome) {
 	sort.SliceStable(out, func(a, b int) bool {
 		ra, rb := out[a], out[b]
 		switch {
@@ -60,18 +92,83 @@ func (s *Solver) SolveAll(in *instance.Instance) []Outcome {
 			return ra.Name < rb.Name
 		}
 	})
-	return out
 }
 
 // Best returns the cheapest feasible result across all heuristics — the
 // paper's practical recommendation (Subtree-bottom-up usually wins, but
 // when it fails one of the greedy heuristics often still succeeds).
 func (s *Solver) Best(in *instance.Instance) (*heuristics.Result, error) {
-	outcomes := s.SolveAll(in)
-	if len(outcomes) == 0 || outcomes[0].Err != nil {
+	return s.BestCtx(context.Background(), in)
+}
+
+// BestCtx runs the portfolio on a bounded worker pool and exits early:
+// once a feasible result matches the instance's provable cost lower
+// bound, the remaining heuristics are cancelled — none of them can do
+// better. The returned cost is deterministic; when several heuristics
+// tie at the lower bound, which one is reported may depend on worker
+// scheduling (every answer is provably optimal).
+func (s *Solver) BestCtx(ctx context.Context, in *instance.Instance) (*heuristics.Result, error) {
+	lb := bounds.CostLowerBound(in)
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	hs := heuristics.All()
+	results := make([]*heuristics.Result, len(hs))
+	par.ForEach(pctx, s.Workers, len(hs), func(i int) {
+		res, err := heuristics.Solve(in, hs[i], s.Options)
+		if err != nil {
+			return
+		}
+		results[i] = res
+		if res.Cost <= lb+1e-9 {
+			cancel()
+		}
+	})
+	var best *heuristics.Result
+	for _, r := range results {
+		if r != nil && (best == nil || r.Cost < best.Cost) {
+			best = r
+		}
+	}
+	if best == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: solve cancelled: %w", err)
+		}
 		return nil, fmt.Errorf("core: every heuristic failed: %w", heuristics.ErrInfeasible)
 	}
-	return outcomes[0].Result, nil
+	// A caller-side cancellation may have truncated the portfolio. Only a
+	// result at the lower bound is still trustworthy — anything costlier
+	// could have been beaten by a skipped heuristic, and returning it
+	// would make the reported cost depend on scheduling.
+	if err := ctx.Err(); err != nil && best.Cost > lb+1e-9 {
+		return nil, fmt.Errorf("core: solve cancelled: %w", err)
+	}
+	return best, nil
+}
+
+// SolveBatch runs Best on every instance, fanning the batch across
+// s.Workers goroutines (each item solves its portfolio serially, so
+// the pool is never oversubscribed). Slot i of the returned slices
+// holds instance i's result or error; cancelling ctx skips the items
+// not yet started and reports them with an error wrapping ctx.Err().
+// Every item solves with s.Options; use SolveBatchWith when items need
+// their own options (e.g. per-instance seeds).
+func (s *Solver) SolveBatch(ctx context.Context, ins []*instance.Instance) ([]*heuristics.Result, []error) {
+	return s.SolveBatchWith(ctx, ins, func(int) heuristics.Options { return s.Options })
+}
+
+// SolveBatchWith is SolveBatch with per-item options: item i solves
+// with opts(i). Batch runs that must reproduce individual runs pass
+// each instance the Seed a standalone solve would use.
+func (s *Solver) SolveBatchWith(ctx context.Context, ins []*instance.Instance,
+	opts func(i int) heuristics.Options) ([]*heuristics.Result, []error) {
+	results := make([]*heuristics.Result, len(ins))
+	errs := make([]error, len(ins))
+	done, _ := par.ForEachDone(ctx, s.Workers, len(ins), func(i int) {
+		inner := Solver{Options: opts(i), Workers: 1}
+		results[i], errs[i] = inner.BestCtx(ctx, ins[i])
+	})
+	par.SkipErrors(ctx, done, errs, "core: batch")
+	return results, errs
 }
 
 // Heuristics lists the valid heuristic names in the paper's order.
@@ -100,6 +197,20 @@ func Verify(res *heuristics.Result, opt stream.Options) (*stream.Report, error) 
 			rep.Throughput, res.Mapping.Inst.Rho)
 	}
 	return rep, nil
+}
+
+// VerifyBatch executes many results on the stream engine concurrently,
+// at most workers at a time (<= 0 means GOMAXPROCS). Slot i of the
+// returned slices holds result i's report or error; cancelling ctx
+// skips the simulations not yet started.
+func VerifyBatch(ctx context.Context, results []*heuristics.Result, opt stream.Options, workers int) ([]*stream.Report, []error) {
+	reps := make([]*stream.Report, len(results))
+	errs := make([]error, len(results))
+	done, _ := par.ForEachDone(ctx, workers, len(results), func(i int) {
+		reps[i], errs[i] = Verify(results[i], opt)
+	})
+	par.SkipErrors(ctx, done, errs, "core: verify")
+	return reps, errs
 }
 
 // IsInfeasible reports whether err means "no feasible mapping exists /

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -15,6 +16,7 @@ import (
 
 	"repro/internal/heuristics"
 	"repro/internal/instance"
+	"repro/internal/par"
 	"repro/internal/stats"
 	"repro/internal/textplot"
 )
@@ -23,6 +25,11 @@ import (
 type Config struct {
 	Seeds    int   // instances averaged per point (default 10)
 	BaseSeed int64 // first seed
+	// Workers bounds the sweep's concurrency: <= 0 means GOMAXPROCS, 1
+	// forces the serial path. Every (heuristic, x, seed) work item
+	// regenerates its own instance and derives its own rng substream
+	// from its seed, so figures are byte-identical at any worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -63,30 +70,47 @@ func heuristicSet() []heuristics.Heuristic {
 }
 
 // sweep evaluates every heuristic at every x, averaging cost over seeds.
+// The (heuristic, x, seed) grid is flattened into independent work items
+// fanned across cfg.Workers goroutines; the reduction below merges the
+// per-item cells back in input order, so the resulting Series — and the
+// Figure.Dat() bytes rendered from them — are identical to a serial run.
 func sweep(cfg Config, xs []float64, mk func(x float64, seed int64) *instance.Instance,
 	opts func(h heuristics.Heuristic) heuristics.Options) []Series {
 	cfg = cfg.withDefaults()
 	hs := heuristicSet()
+	nx, ns := len(xs), cfg.Seeds
+	type cell struct {
+		cost float64
+		ok   bool
+	}
+	cells := make([]cell, len(hs)*nx*ns)
+	par.ForEach(context.Background(), cfg.Workers, len(cells), func(idx int) {
+		h := hs[idx/(nx*ns)]
+		x := xs[(idx/ns)%nx]
+		seed := cfg.BaseSeed + int64(idx%ns)
+		in := mk(x, seed)
+		o := heuristics.Options{Seed: seed}
+		if opts != nil {
+			o = opts(h)
+			o.Seed = seed
+		}
+		if res, err := heuristics.Solve(in, h, o); err == nil {
+			cells[idx] = cell{cost: res.Cost, ok: true}
+		}
+	})
 	series := make([]Series, len(hs))
 	for hi, h := range hs {
 		series[hi].Label = h.Name()
-		for _, x := range xs {
+		for xi, x := range xs {
 			var costs []float64
 			fails := 0
-			for s := 0; s < cfg.Seeds; s++ {
-				seed := cfg.BaseSeed + int64(s)
-				in := mk(x, seed)
-				o := heuristics.Options{Seed: seed}
-				if opts != nil {
-					o = opts(h)
-					o.Seed = seed
-				}
-				res, err := heuristics.Solve(in, h, o)
-				if err != nil {
+			for s := 0; s < ns; s++ {
+				c := cells[(hi*nx+xi)*ns+s]
+				if !c.ok {
 					fails++
 					continue
 				}
-				costs = append(costs, res.Cost)
+				costs = append(costs, c.cost)
 			}
 			pt := Point{X: x, Fails: fails, Runs: cfg.Seeds, Mean: math.NaN()}
 			if len(costs) > 0 {
@@ -225,14 +249,20 @@ func AblationSelection(cfg Config) *Figure {
 		mode  heuristics.ServerSelectionMode
 	}{{"three-loop", heuristics.SelectThreeLoop}, {"random", heuristics.SelectRandom}} {
 		s := Series{Label: "Subtree-bottom-up (" + variant.label + ")"}
-		for _, x := range nRange() {
+		xs := nRange()
+		feasible := make([]bool, len(xs)*cfg.Seeds)
+		par.ForEach(context.Background(), cfg.Workers, len(feasible), func(idx int) {
+			x := xs[idx/cfg.Seeds]
+			seed := cfg.BaseSeed + int64(idx%cfg.Seeds)
+			in := instance.Generate(instance.Config{NumOps: int(x), Alpha: 0.9}, seed)
+			_, err := heuristics.Solve(in, heuristics.SubtreeBottomUp{},
+				heuristics.Options{Seed: seed, Selection: variant.mode})
+			feasible[idx] = err == nil
+		})
+		for xi, x := range xs {
 			ok := 0
 			for i := 0; i < cfg.Seeds; i++ {
-				seed := cfg.BaseSeed + int64(i)
-				in := instance.Generate(instance.Config{NumOps: int(x), Alpha: 0.9}, seed)
-				_, err := heuristics.Solve(in, heuristics.SubtreeBottomUp{},
-					heuristics.Options{Seed: seed, Selection: variant.mode})
-				if err == nil {
+				if feasible[xi*cfg.Seeds+i] {
 					ok++
 				}
 			}

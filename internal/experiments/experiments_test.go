@@ -111,6 +111,34 @@ func TestFrequencyPlateau(t *testing.T) {
 	}
 }
 
+// TestSweepDeterministicAcrossWorkers is the tentpole's contract: the
+// parallel sweep must render byte-identical .dat output to the serial
+// path at every worker count.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	serial := Fig2a(Config{Seeds: 2, BaseSeed: 1, Workers: 1}).Dat()
+	for _, workers := range []int{0, 4, 8} {
+		got := Fig2a(Config{Seeds: 2, BaseSeed: 1, Workers: workers}).Dat()
+		if got != serial {
+			t.Fatalf("workers=%d output diverges from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+				workers, serial, got)
+		}
+	}
+	// Same contract for the selection ablation, which has its own fan-out.
+	serialAbl := AblationSelection(Config{Seeds: 2, BaseSeed: 1, Workers: 1}).Dat()
+	if got := AblationSelection(Config{Seeds: 2, BaseSeed: 1, Workers: 8}).Dat(); got != serialAbl {
+		t.Fatalf("ablation diverges:\n--- serial ---\n%s--- parallel ---\n%s", serialAbl, got)
+	}
+}
+
+// TestTablesDeterministicAcrossWorkers pins the parallel V1 harness to
+// the serial rendering.
+func TestTablesDeterministicAcrossWorkers(t *testing.T) {
+	serial := ThroughputValidation(Config{Seeds: 2, BaseSeed: 1, Workers: 1}).String()
+	if got := ThroughputValidation(Config{Seeds: 2, BaseSeed: 1, Workers: 8}).String(); got != serial {
+		t.Fatalf("V1 table diverges:\n--- serial ---\n%s--- parallel ---\n%s", serial, got)
+	}
+}
+
 func TestDatAndASCII(t *testing.T) {
 	fig := Fig2a(Config{Seeds: 2, BaseSeed: 5})
 	dat := fig.Dat()

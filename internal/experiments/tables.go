@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/heuristics"
 	"repro/internal/ilp"
 	"repro/internal/instance"
+	"repro/internal/par"
 	"repro/internal/platform"
 	"repro/internal/stream"
 )
@@ -171,31 +173,52 @@ func ThroughputValidation(cfg Config) *Table {
 		Headers: []string{"N", "heuristic", "feasible", "min measured", "min analytic",
 			"meets rho"},
 	}
-	for _, n := range []int{10, 20, 40} {
-		for _, h := range heuristics.All() {
+	ns := []int{10, 20, 40}
+	hs := heuristics.All()
+	// Fan the (N, heuristic, seed) grid across workers: each item solves
+	// and simulates independently, the reduction below folds the cells
+	// back in grid order so the table is identical at any worker count.
+	type cell struct {
+		feasible bool
+		simErr   bool
+		rep      *stream.Report
+		rho      float64
+	}
+	cells := make([]cell, len(ns)*len(hs)*cfg.Seeds)
+	par.ForEach(context.Background(), cfg.Workers, len(cells), func(idx int) {
+		n := ns[idx/(len(hs)*cfg.Seeds)]
+		h := hs[(idx/cfg.Seeds)%len(hs)]
+		seed := cfg.BaseSeed + int64(idx%cfg.Seeds)
+		in := instance.Generate(instance.Config{NumOps: n, Alpha: 1.1}, seed)
+		res, err := heuristics.Solve(in, h, heuristics.Options{Seed: seed})
+		if err != nil {
+			return
+		}
+		rep, err := stream.Simulate(res.Mapping, stream.Options{Results: 80})
+		cells[idx] = cell{feasible: true, simErr: err != nil, rep: rep, rho: in.Rho}
+	})
+	for ni, n := range ns {
+		for hi, h := range hs {
 			minMeasured, minAnalytic := -1.0, -1.0
 			feasible := 0
 			allMeet := true
 			for s := 0; s < cfg.Seeds; s++ {
-				seed := cfg.BaseSeed + int64(s)
-				in := instance.Generate(instance.Config{NumOps: n, Alpha: 1.1}, seed)
-				res, err := heuristics.Solve(in, h, heuristics.Options{Seed: seed})
-				if err != nil {
+				c := cells[(ni*len(hs)+hi)*cfg.Seeds+s]
+				if !c.feasible {
 					continue
 				}
 				feasible++
-				rep, err := stream.Simulate(res.Mapping, stream.Options{Results: 80})
-				if err != nil {
+				if c.simErr {
 					allMeet = false
 					continue
 				}
-				if minMeasured < 0 || rep.Throughput < minMeasured {
-					minMeasured = rep.Throughput
+				if minMeasured < 0 || c.rep.Throughput < minMeasured {
+					minMeasured = c.rep.Throughput
 				}
-				if minAnalytic < 0 || rep.Analytic < minAnalytic {
-					minAnalytic = rep.Analytic
+				if minAnalytic < 0 || c.rep.Analytic < minAnalytic {
+					minAnalytic = c.rep.Analytic
 				}
-				if rep.Throughput < 0.9*in.Rho {
+				if c.rep.Throughput < 0.9*c.rho {
 					allMeet = false
 				}
 			}

@@ -1,0 +1,102 @@
+// Package par provides the bounded worker pool that drives every
+// parallel layer of the repository: the solver portfolio (core), the
+// experiment sweeps (experiments) and the stream-engine verification
+// batches (stream).
+//
+// Determinism is the design constraint: ForEach hands out item
+// indices, so callers write result i into slot i of a pre-sized slice
+// and merge in input order — output is then byte-identical to a
+// serial run at any worker count. Randomness never crosses goroutine
+// boundaries: each work item derives its own substream from a plain
+// per-item seed (rng.SeedFor / heuristics.Options.Seed), never from a
+// shared *rand.Rand.
+package par
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 mean
+// runtime.GOMAXPROCS(0), and the pool is never wider than the n items
+// it has to process.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if n > 0 && workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEachDone is ForEach plus a dispatch mask: done[i] reports whether
+// fn(i) actually ran. Items are skipped only after ctx cancellation, so
+// callers use the mask to mark skipped slots without inventing
+// per-result sentinel values.
+func ForEachDone(ctx context.Context, workers, n int, fn func(i int)) ([]bool, error) {
+	done := make([]bool, n)
+	err := ForEach(ctx, workers, n, func(i int) {
+		fn(i)
+		done[i] = true
+	})
+	return done, err
+}
+
+// SkipErrors fills errs[i] for every slot whose done[i] is false with
+// "<label> item i skipped: <cause>", where cause is context.Cause(ctx).
+// Batch APIs call it after ForEachDone so undispatched slots carry a
+// uniform, errors.Is-inspectable error instead of sentinel zero values.
+func SkipErrors(ctx context.Context, done []bool, errs []error, label string) {
+	for i := range done {
+		if !done[i] {
+			errs[i] = fmt.Errorf("%s item %d skipped: %w", label, i, context.Cause(ctx))
+		}
+	}
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a pool of at most
+// workers goroutines (<= 0 means GOMAXPROCS) and blocks until the
+// pool drains. When ctx is cancelled, items not yet dispatched are
+// skipped, in-flight items run to completion, and ForEach returns
+// ctx.Err(); no goroutines outlive the call in either case. fn must
+// be safe for concurrent invocation on distinct indices.
+func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		// Serial fast path: no goroutines, same cancellation contract.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,102 @@
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8, 100} {
+		n := 57
+		hits := make([]atomic.Int32, n)
+		if err := ForEach(context.Background(), workers, n, func(i int) {
+			hits[i].Add(1)
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(int) { t.Fatal("fn called") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		release := make(chan struct{})
+		done := make(chan error, 1)
+		go func() {
+			done <- ForEach(ctx, workers, 10_000, func(i int) {
+				if ran.Add(1) == 1 {
+					cancel()
+					close(release)
+				} else {
+					<-release
+				}
+			})
+		}()
+		select {
+		case err := <-done:
+			if err != context.Canceled {
+				t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("workers=%d: ForEach did not return after cancellation", workers)
+		}
+		// Only in-flight items may have run: at most one per worker.
+		if got := ran.Load(); int(got) > workers {
+			t.Fatalf("workers=%d: %d items ran after cancellation", workers, got)
+		}
+	}
+}
+
+func TestForEachLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		ForEach(context.Background(), 8, 100, func(int) {})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ForEach(ctx, 8, 100, func(int) {})
+	// Workers are joined before ForEach returns, so the count should be
+	// back to the baseline (allow slack for runtime housekeeping).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	cases := []struct {
+		workers, n, want int
+	}{
+		{0, 10, runtime.GOMAXPROCS(0)},
+		{-3, 10, runtime.GOMAXPROCS(0)},
+		{4, 10, 4},
+		{8, 3, 3},
+		{1, 0, 1},
+	}
+	for _, c := range cases {
+		if c.want > c.n && c.n > 0 {
+			c.want = c.n
+		}
+		if got := Workers(c.workers, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}

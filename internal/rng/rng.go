@@ -20,14 +20,23 @@ func SplitMix64(state uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
-// Derive returns a new seeded *rand.Rand whose stream is a deterministic
-// function of (seed, label). Distinct labels give decorrelated streams.
-func Derive(seed int64, label string) *rand.Rand {
+// SeedFor returns the deterministic sub-seed that Derive uses for
+// (seed, label). It is exported so parallel work items can carry a
+// plain int64 across goroutine boundaries instead of sharing a
+// *rand.Rand: hand each item SeedFor(base, itemLabel) and let it
+// Derive its own streams locally.
+func SeedFor(seed int64, label string) int64 {
 	h := uint64(seed)
 	for _, b := range []byte(label) {
 		h = SplitMix64(h ^ uint64(b))
 	}
-	return rand.New(rand.NewSource(int64(SplitMix64(h))))
+	return int64(SplitMix64(h))
+}
+
+// Derive returns a new seeded *rand.Rand whose stream is a deterministic
+// function of (seed, label). Distinct labels give decorrelated streams.
+func Derive(seed int64, label string) *rand.Rand {
+	return rand.New(rand.NewSource(SeedFor(seed, label)))
 }
 
 // New returns a seeded *rand.Rand.

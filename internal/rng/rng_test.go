@@ -5,6 +5,22 @@ import (
 	"testing/quick"
 )
 
+func TestSeedForMatchesDerive(t *testing.T) {
+	// Derive must remain a pure function of SeedFor, so parallel work
+	// items can ship the int64 across goroutines and reconstruct the
+	// exact same stream locally.
+	a := Derive(42, "heuristic:Random")
+	b := New(SeedFor(42, "heuristic:Random"))
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("stream diverges at draw %d", i)
+		}
+	}
+	if SeedFor(1, "x") == SeedFor(2, "x") || SeedFor(1, "x") == SeedFor(1, "y") {
+		t.Fatal("SeedFor collides on distinct inputs")
+	}
+}
+
 func TestSplitMix64Deterministic(t *testing.T) {
 	if SplitMix64(42) != SplitMix64(42) {
 		t.Fatal("SplitMix64 is not deterministic")

@@ -19,6 +19,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/desim"
 	"repro/internal/flow"
 	"repro/internal/mapping"
+	"repro/internal/par"
 )
 
 // Options tunes a simulation run.
@@ -204,6 +206,23 @@ type job struct {
 	rate      float64
 	updated   float64 // sim time of the last remaining-update
 	event     *desim.Event
+}
+
+// SimulateBatch runs Simulate on every mapping concurrently, at most
+// workers at a time (<= 0 means GOMAXPROCS). Slot i of the returned
+// slices holds mapping i's report or error, in input order regardless
+// of scheduling. Each simulation owns its engine state, so the fan-out
+// is race-free; cancelling ctx skips the simulations not yet started
+// (in-flight ones run to completion) and reports them with an error
+// wrapping the cancellation cause.
+func SimulateBatch(ctx context.Context, ms []*mapping.Mapping, opt Options, workers int) ([]*Report, []error) {
+	reps := make([]*Report, len(ms))
+	errs := make([]error, len(ms))
+	done, _ := par.ForEachDone(ctx, workers, len(ms), func(i int) {
+		reps[i], errs[i] = Simulate(ms[i], opt)
+	})
+	par.SkipErrors(ctx, done, errs, "stream: batch")
+	return reps, errs
 }
 
 // Simulate runs the mapping and measures its root throughput.

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -128,6 +129,56 @@ func TestMeetsRhoOnHeuristicMappings(t *testing.T) {
 			if rep.Throughput < 0.9*in.Rho {
 				t.Fatalf("%s seed %d: measured throughput %v below 0.9*rho", h.Name(), seed, rep.Throughput)
 			}
+		}
+	}
+}
+
+// TestSimulateBatchMatchesSerial asserts the fan-out returns the exact
+// reports of one-at-a-time simulation, in input order, at several
+// worker counts.
+func TestSimulateBatchMatchesSerial(t *testing.T) {
+	var ms []*mapping.Mapping
+	for seed := int64(0); seed < 4; seed++ {
+		in := instance.Generate(instance.Config{NumOps: 15, Alpha: 1.1}, seed)
+		res, err := heuristics.Solve(in, heuristics.SubtreeBottomUp{}, heuristics.Options{Seed: seed})
+		if err != nil {
+			continue
+		}
+		ms = append(ms, res.Mapping)
+	}
+	if len(ms) < 2 {
+		t.Fatal("not enough feasible mappings")
+	}
+	opt := Options{Results: 50}
+	want := make([]*Report, len(ms))
+	for i, m := range ms {
+		rep, err := Simulate(m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep
+	}
+	for _, workers := range []int{1, 4} {
+		reps, errs := SimulateBatch(context.Background(), ms, opt, workers)
+		for i := range ms {
+			if errs[i] != nil {
+				t.Fatalf("workers=%d item %d: %v", workers, i, errs[i])
+			}
+			if reps[i].Throughput != want[i].Throughput || reps[i].Events != want[i].Events {
+				t.Fatalf("workers=%d item %d: batch %+v, serial %+v", workers, i, reps[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSimulateBatchCancelled(t *testing.T) {
+	in := paperInstance()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reps, errs := SimulateBatch(ctx, []*mapping.Mapping{onePlacement(in), onePlacement(in)}, Options{}, 2)
+	for i := range reps {
+		if reps[i] != nil || errs[i] == nil {
+			t.Fatalf("item %d ran under a cancelled context", i)
 		}
 	}
 }

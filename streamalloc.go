@@ -31,6 +31,7 @@
 package streamalloc
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/core"
@@ -107,10 +108,33 @@ func Verify(res *Result, opt SimOptions) (*SimReport, error) {
 	return core.Verify(res, opt)
 }
 
+// SolveBatch solves many instances concurrently on a bounded worker
+// pool, returning each instance's cheapest feasible result (or error)
+// in input order: slot i always belongs to ins[i], at any worker count
+// (<= 0 means GOMAXPROCS). Cancelling ctx skips the instances not yet
+// started; their error slots wrap the cancellation cause.
+func SolveBatch(ctx context.Context, ins []*Instance, opts Options, workers int) ([]*Result, []error) {
+	s := Solver{Options: opts, Workers: workers}
+	return s.SolveBatch(ctx, ins)
+}
+
+// VerifyBatch executes many results on the stream engine concurrently
+// (at most workers simulations at a time) and checks each measured
+// throughput against its instance's QoS target, in input order.
+func VerifyBatch(ctx context.Context, results []*Result, opt SimOptions, workers int) ([]*SimReport, []error) {
+	return core.VerifyBatch(ctx, results, opt, workers)
+}
+
 // Simulate measures the steady-state throughput of an arbitrary complete
 // mapping without asserting the QoS target.
 func Simulate(m *Mapping, opt SimOptions) (*SimReport, error) {
 	return stream.Simulate(m, opt)
+}
+
+// SimulateBatch measures many mappings concurrently; see SolveBatch for
+// the ordering and cancellation contract.
+func SimulateBatch(ctx context.Context, ms []*Mapping, opt SimOptions, workers int) ([]*SimReport, []error) {
+	return stream.SimulateBatch(ctx, ms, opt, workers)
 }
 
 // MaxThroughput returns the analytic maximum throughput a mapping
