@@ -1,9 +1,14 @@
-# CI and humans invoke identical commands: .github/workflows/ci.yml
-# runs `make lint build test race bench` and nothing else.
+# CI and humans invoke identical commands: .github/workflows/ci.yml runs
+# `make lint build test race bench` in the main job, `make vuln` for the
+# vulnerability scan, and `make bench-json bench-compare` in the
+# bench-compare job — and nothing else.
 
 GO ?= go
 
-.PHONY: build test race bench fmt lint ci
+# Steadier perf numbers: every bench entry runs 3x its base iterations.
+BENCH_ITERS_SCALE ?= 3
+
+.PHONY: build test race bench bench-json bench-compare bench-baseline fmt lint vuln ci
 
 build:
 	$(GO) build ./...
@@ -19,6 +24,21 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# The JSON perf harness over the canonical pinned-seed corpus; see
+# README "Performance" for the schema and the regression-gating rules.
+bench-json:
+	$(GO) run ./cmd/bench -iters-scale $(BENCH_ITERS_SCALE) -o BENCH_results.json
+
+# Gate BENCH_results.json against the committed baseline: fails on >25%
+# calibration-normalized ns/op growth or allocs/op growth beyond the
+# noise floor on any alloc-gated entry.
+bench-compare:
+	$(GO) run ./cmd/bench -compare BENCH_baseline.json BENCH_results.json
+
+# Refresh the committed baseline after an intentional perf change.
+bench-baseline:
+	$(GO) run ./cmd/bench -iters-scale $(BENCH_ITERS_SCALE) -o BENCH_baseline.json
+
 fmt:
 	gofmt -w .
 
@@ -26,5 +46,9 @@ lint:
 	@fmtdiff="$$(gofmt -l .)"; if [ -n "$$fmtdiff" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtdiff"; exit 1; fi
 	$(GO) vet ./...
+
+# Known-vulnerability scan over all dependencies (needs network access).
+vuln:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
 ci: lint build test race bench

@@ -1,0 +1,345 @@
+// Command bench is the repository's perf harness: it times the solve,
+// sweep and simulate hot paths over a canonical pinned-seed instance
+// corpus (core.CanonicalCorpus: N in {20, 60, 140} x alpha in {0.9, 1.7})
+// and emits a machine-readable JSON report — the artifact CI compares
+// against the committed BENCH_baseline.json to gate perf regressions.
+//
+// Usage:
+//
+//	bench [-o BENCH_results.json] [-seeds 3] [-iters-scale 1]
+//	bench -compare BENCH_baseline.json BENCH_results.json [-ns-threshold 0.25]
+//
+// Run mode measures every benchmark entry (warm-up run excluded, then a
+// fixed iteration count) and records ns/op, allocs/op, B/op and ops/s.
+// Allocation counts of serial entries are machine-independent, so they
+// gate strictly; wall-clock is not, so every report carries a
+// calibration entry (a fixed pure-CPU spin) and compare judges the
+// calibration-normalized ns/op ratio, failing beyond -ns-threshold
+// (default 25%). Parallel entries are timed for trend visibility but
+// never alloc-gated (goroutine bookkeeping varies with GOMAXPROCS).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/heuristics"
+	"repro/internal/stream"
+)
+
+// Schema identifies the report layout; bump on incompatible changes.
+const Schema = "streamalloc-bench/v1"
+
+// Entry is one measured benchmark.
+type Entry struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	AllocsPerO float64 `json:"allocs_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	// AllocGated entries have machine-independent allocation counts
+	// (single-goroutine, deterministic workloads); compare fails on any
+	// allocs/op growth for them.
+	AllocGated bool `json:"alloc_gated"`
+}
+
+// Report is the full JSON artifact.
+type Report struct {
+	Schema    string    `json:"schema"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	NumCPU    int       `json:"num_cpu"`
+	Seeds     int       `json:"corpus_seeds"`
+	CorpusNs  []int     `json:"corpus_n"`
+	CorpusAs  []float64 `json:"corpus_alpha"`
+	Entries   []Entry   `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out         = flag.String("o", "", "write the JSON report to this file (default stdout)")
+		seeds       = flag.Int("seeds", 3, "pinned seeds per corpus cell")
+		itersScale  = flag.Int("iters-scale", 1, "multiply every entry's iteration count (longer, steadier runs)")
+		compareMode = flag.Bool("compare", false, "compare two reports: bench -compare BASELINE RESULTS")
+		nsThreshold = flag.Float64("ns-threshold", 0.25, "max allowed calibration-normalized ns/op growth")
+	)
+	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: bench -compare BASELINE.json RESULTS.json")
+			os.Exit(2)
+		}
+		if err := compare(flag.Arg(0), flag.Arg(1), *nsThreshold); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep, err := run(*seeds, *itersScale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %d entries to %s\n", len(rep.Entries), *out)
+}
+
+// measure times iters runs of f (after one untimed warm-up) and reads the
+// allocator's global counters around the loop — the testing.AllocsPerRun
+// technique, plus wall-clock.
+func measure(name string, iters int, allocGated bool, f func()) Entry {
+	f() // warm every lazily-grown buffer so steady state is measured
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	ns := float64(elapsed.Nanoseconds()) / float64(iters)
+	ops := 0.0
+	if elapsed > 0 {
+		ops = float64(iters) / elapsed.Seconds()
+	}
+	return Entry{
+		Name:       name,
+		Iterations: iters,
+		NsPerOp:    ns,
+		AllocsPerO: math.Floor(float64(after.Mallocs-before.Mallocs) / float64(iters)),
+		BytesPerOp: math.Floor(float64(after.TotalAlloc-before.TotalAlloc) / float64(iters)),
+		OpsPerSec:  ops,
+		AllocGated: allocGated,
+	}
+}
+
+// calibrationName is the pure-CPU spin every report carries so ns/op can
+// be compared across machines as a ratio to it.
+const calibrationName = "calibrate/spin"
+
+// spin is a fixed floating-point workload (~1e7 FLOPs) with a data
+// dependency so the compiler cannot elide or vectorize it away.
+var spinSink float64
+
+func spin() {
+	x := 1.0
+	for i := 0; i < 5_000_000; i++ {
+		x = x*1.0000001 + 1e-9
+	}
+	spinSink = x
+}
+
+func run(seeds, itersScale int) (*Report, error) {
+	if itersScale < 1 {
+		itersScale = 1
+	}
+	corpus := core.CanonicalCorpus(seeds)
+	rep := &Report{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Seeds:     seeds,
+		CorpusNs:  core.CorpusNs,
+		CorpusAs:  core.CorpusAlphas,
+	}
+	add := func(e Entry) {
+		rep.Entries = append(rep.Entries, e)
+		fmt.Fprintf(os.Stderr, "bench: %-40s %12.0f ns/op %10.0f allocs/op\n", e.Name, e.NsPerOp, e.AllocsPerO)
+	}
+
+	add(measure(calibrationName, 12*itersScale, false, spin))
+
+	// Solve: the best heuristic on every corpus cell, rotating seeds so
+	// one op is one full solve.
+	for _, n := range core.CorpusNs {
+		for _, alpha := range core.CorpusAlphas {
+			cell := cellItems(corpus, n, alpha)
+			i := 0
+			name := fmt.Sprintf("solve/subtree/N=%d,alpha=%g", n, alpha)
+			add(measure(name, 30*itersScale, true, func() {
+				it := cell[i%len(cell)]
+				i++
+				// Infeasibility is a legitimate corpus outcome (the paper's
+				// large trees stress exactly that); the attempt is what is
+				// timed. Anything else is a harness bug.
+				if _, err := heuristics.Solve(it.Inst, heuristics.SubtreeBottomUp{}, heuristics.Options{Seed: it.Seed}); err != nil && !core.IsInfeasible(err) {
+					panic(fmt.Sprintf("%s: %v", name, err))
+				}
+			}))
+		}
+	}
+
+	// Portfolio: all six heuristics, serial, on the medium cell.
+	{
+		cell := cellItems(corpus, 60, 0.9)
+		s := core.Solver{Workers: 1}
+		i := 0
+		add(measure("solve/portfolio/N=60,alpha=0.9", 10*itersScale, true, func() {
+			it := cell[i%len(cell)]
+			i++
+			s.Options.Seed = it.Seed
+			s.SolveAll(it.Inst)
+		}))
+	}
+
+	// Simulate: the stream engine on pre-solved small-cell mappings,
+	// through a reusable Runner (the steady-state zero-alloc path).
+	for _, alpha := range core.CorpusAlphas {
+		var maps []*heuristics.Result
+		for _, it := range cellItems(corpus, 20, alpha) {
+			res, err := heuristics.Solve(it.Inst, heuristics.SubtreeBottomUp{}, heuristics.Options{Seed: it.Seed})
+			if err != nil {
+				continue // infeasible cells are skipped, not timed
+			}
+			maps = append(maps, res)
+		}
+		if len(maps) == 0 {
+			continue
+		}
+		r := stream.NewRunner()
+		i := 0
+		name := fmt.Sprintf("simulate/subtree/N=20,alpha=%g", alpha)
+		add(measure(name, 50*itersScale, true, func() {
+			res := maps[i%len(maps)]
+			i++
+			if _, err := r.Simulate(res.Mapping, stream.Options{Results: 60}); err != nil {
+				panic(fmt.Sprintf("%s: %v", name, err))
+			}
+		}))
+	}
+
+	// Sweep: one figure-sized experiment, serial (alloc-comparable) and
+	// at four workers (throughput trend; goroutine bookkeeping makes its
+	// allocation count scheduler-dependent, so it is not alloc-gated).
+	add(measure("sweep/fig2a/workers=1", 2*itersScale, false, func() {
+		experiments.Fig2a(experiments.Config{Seeds: 1, BaseSeed: 1, Workers: 1})
+	}))
+	add(measure("sweep/fig2a/workers=4", 2*itersScale, false, func() {
+		experiments.Fig2a(experiments.Config{Seeds: 1, BaseSeed: 1, Workers: 4})
+	}))
+
+	return rep, nil
+}
+
+func cellItems(corpus []core.CorpusItem, n int, alpha float64) []core.CorpusItem {
+	var out []core.CorpusItem
+	for _, it := range corpus {
+		if it.N == n && it.Alpha == alpha {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// compare loads two reports and fails on regressions: allocs/op growth
+// beyond the noise floor on an alloc-gated entry, or calibration-
+// normalized ns/op growth beyond nsThreshold on any entry. New entries
+// present only in the results are reported but pass (the corpus may
+// grow); entries missing from the results fail — dropping a benchmark
+// must come with a deliberate baseline refresh, not slip through.
+func compare(basePath, resultPath string, nsThreshold float64) error {
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	result, err := load(resultPath)
+	if err != nil {
+		return err
+	}
+	baseCal := find(base, calibrationName)
+	resCal := find(result, calibrationName)
+	if baseCal == nil || resCal == nil {
+		return fmt.Errorf("missing %q entry (baseline: %v, results: %v)", calibrationName, baseCal != nil, resCal != nil)
+	}
+	failures := 0
+	for _, b := range base.Entries {
+		if b.Name == calibrationName {
+			continue
+		}
+		r := find(result, b.Name)
+		if r == nil {
+			fmt.Printf("MISSING  %-40s (in baseline, not in results)\n", b.Name)
+			failures++
+			continue
+		}
+		// ns/op, normalized by each side's calibration spin.
+		bn := b.NsPerOp / baseCal.NsPerOp
+		rn := r.NsPerOp / resCal.NsPerOp
+		ratio := rn / bn
+		status := "ok"
+		if ratio > 1+nsThreshold {
+			status = "NS-REGRESSION"
+			failures++
+		}
+		fmt.Printf("%-14s %-40s norm-ns x%.3f  allocs %v -> %v\n", status, b.Name, ratio, b.AllocsPerO, r.AllocsPerO)
+		// Alloc gate: any growth beyond the runtime's noise floor fails.
+		// Map-iteration-order dependent slice growth in the selection step
+		// jitters counts by a few allocations run-to-run, so a handful of
+		// allocs of slack is needed; real regressions arrive in tens.
+		if slack := math.Max(8, 0.01*b.AllocsPerO); b.AllocGated && r.AllocsPerO > b.AllocsPerO+slack {
+			fmt.Printf("%-14s %-40s allocs/op grew %v -> %v\n", "ALLOC-REGRESSION", b.Name, b.AllocsPerO, r.AllocsPerO)
+			failures++
+		}
+	}
+	for _, r := range result.Entries {
+		if r.Name != calibrationName && find(base, r.Name) == nil {
+			fmt.Printf("NEW      %-40s (not in baseline; refresh it to gate this entry)\n", r.Name)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d perf regression(s) versus %s", failures, basePath)
+	}
+	fmt.Printf("no regressions versus %s (ns threshold %.0f%%)\n", basePath, nsThreshold*100)
+	return nil
+}
+
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+func find(rep *Report, name string) *Entry {
+	for i := range rep.Entries {
+		if rep.Entries[i].Name == name {
+			return &rep.Entries[i]
+		}
+	}
+	return nil
+}

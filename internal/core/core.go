@@ -218,3 +218,47 @@ func VerifyBatch(ctx context.Context, results []*heuristics.Result, opt stream.O
 func IsInfeasible(err error) bool {
 	return errors.Is(err, heuristics.ErrInfeasible)
 }
+
+// CorpusItem is one pinned instance of the canonical benchmark corpus.
+type CorpusItem struct {
+	Name  string // "N=60,alpha=0.9,seed=1"
+	N     int
+	Alpha float64
+	Seed  int64
+	Inst  *instance.Instance
+}
+
+// CorpusNs and CorpusAlphas are the canonical benchmark grid: the paper's
+// evaluation sweeps tree size and computation exponent, and these pinned
+// points cover its small/medium/large and sub/super-linear regimes.
+var (
+	CorpusNs     = []int{20, 60, 140}
+	CorpusAlphas = []float64{0.9, 1.7}
+)
+
+// CanonicalCorpus generates the pinned instance corpus the perf harness
+// (cmd/bench) and the regression baseline are defined over: every
+// (N, alpha) cell of the canonical grid with seeds 1..seedsPer. The
+// corpus is a pure function of seedsPer — same instances on every
+// machine, every run — so timings and allocation counts recorded against
+// it are comparable across commits.
+func CanonicalCorpus(seedsPer int) []CorpusItem {
+	if seedsPer < 1 {
+		seedsPer = 1
+	}
+	var items []CorpusItem
+	for _, n := range CorpusNs {
+		for _, alpha := range CorpusAlphas {
+			for seed := int64(1); seed <= int64(seedsPer); seed++ {
+				items = append(items, CorpusItem{
+					Name:  fmt.Sprintf("N=%d,alpha=%g,seed=%d", n, alpha, seed),
+					N:     n,
+					Alpha: alpha,
+					Seed:  seed,
+					Inst:  instance.Generate(instance.Config{NumOps: n, Alpha: alpha}, seed),
+				})
+			}
+		}
+	}
+	return items
+}

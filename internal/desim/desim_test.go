@@ -105,6 +105,85 @@ func TestEventBudget(t *testing.T) {
 	}
 }
 
+func TestReset(t *testing.T) {
+	var s Sim
+	s.Schedule(5, func() {})
+	s.Schedule(7, func() {})
+	s.Step()
+	s.Reset()
+	if s.Now() != 0 || s.Processed() != 0 {
+		t.Fatalf("after Reset: now=%v processed=%d", s.Now(), s.Processed())
+	}
+	ran := false
+	s.Schedule(1, func() { ran = true })
+	if r := s.RunUntil(10, 0); r != StopEmpty {
+		t.Fatalf("stop reason %v", r)
+	}
+	if !ran {
+		t.Fatal("event scheduled after Reset did not run")
+	}
+	if s.Processed() != 1 {
+		t.Fatalf("processed = %d, want 1 (pre-Reset events leaked)", s.Processed())
+	}
+}
+
+// TestScheduleStepZeroAllocs pins the event pool: a warmed simulator runs
+// schedule/cancel/step cycles without allocating.
+func TestScheduleStepZeroAllocs(t *testing.T) {
+	var s Sim
+	action := func() {}
+	// Warm the heap, the free list and the clock.
+	for i := 0; i < 16; i++ {
+		s.Schedule(float64(i), action)
+	}
+	s.RunUntil(1e18, 0)
+	allocs := testing.AllocsPerRun(100, func() {
+		e1 := s.After(1, action)
+		e2 := s.After(2, action)
+		s.Cancel(e1)
+		if !s.Step() {
+			t.Fatal("no event to step")
+		}
+		_ = e2
+	})
+	if allocs != 0 {
+		t.Fatalf("Schedule/Cancel/Step allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestEventRecycling checks pooled events are actually reused and that the
+// heap stays consistent across a cancel-heavy workload.
+func TestEventRecycling(t *testing.T) {
+	var s Sim
+	var got []int
+	evs := make([]*Event, 0, 64)
+	for i := 0; i < 64; i++ {
+		i := i
+		evs = append(evs, s.Schedule(float64(i%8), func() { got = append(got, i) }))
+	}
+	for i := 0; i < 64; i += 3 {
+		s.Cancel(evs[i])
+	}
+	s.RunUntil(1e18, 0)
+	want := 0
+	for i := 0; i < 64; i++ {
+		if i%3 != 0 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("ran %d events, want %d", len(got), want)
+	}
+	// Time ordering must survive removeAt-driven heap surgery.
+	lastTime := -1
+	for _, i := range got {
+		if i%8 < lastTime {
+			t.Fatalf("events ran out of time order: %v", got)
+		}
+		lastTime = i % 8
+	}
+}
+
 func TestSchedulingInPastPanics(t *testing.T) {
 	var s Sim
 	s.Schedule(5, func() {})

@@ -7,6 +7,8 @@ package flow
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/xslice"
 )
 
 // Flow describes one flow: the resources it crosses (indices into the
@@ -18,11 +20,24 @@ type Flow struct {
 	Demand    float64
 }
 
+// Allocator owns the scratch state of the progressive-filling algorithm so
+// that repeated MaxMin calls perform zero steady-state allocations. The
+// zero value is ready to use; an Allocator must not be used concurrently.
+type Allocator struct {
+	rates    []float64
+	active   []bool
+	residual []float64
+	count    []int
+}
+
 // MaxMin returns the max-min fair rates for the flows given per-resource
 // capacities, via progressive filling: all unfrozen flows grow at the same
 // rate; a flow freezes when it hits its demand or when one of its
 // resources saturates.
-func MaxMin(capacity []float64, flows []Flow) ([]float64, error) {
+//
+// The returned slice is owned by the Allocator and is valid until its next
+// MaxMin call; callers that need to keep the rates must copy them.
+func (a *Allocator) MaxMin(capacity []float64, flows []Flow) ([]float64, error) {
 	for r, c := range capacity {
 		if c < 0 || math.IsNaN(c) {
 			return nil, fmt.Errorf("flow: resource %d has invalid capacity %v", r, c)
@@ -36,9 +51,15 @@ func MaxMin(capacity []float64, flows []Flow) ([]float64, error) {
 		}
 	}
 
-	rates := make([]float64, len(flows))
-	active := make([]bool, len(flows))
-	residual := append([]float64(nil), capacity...)
+	a.rates = xslice.Grow(a.rates, len(flows))
+	a.active = xslice.Grow(a.active, len(flows))
+	a.residual = xslice.Grow(a.residual, len(capacity))
+	a.count = xslice.Grow(a.count, len(capacity))
+	rates, active, residual := a.rates, a.active, a.residual
+	for i := range rates {
+		rates[i] = 0
+	}
+	copy(residual, capacity)
 	nActive := 0
 	for i, f := range flows {
 		if len(f.Resources) == 0 && f.Demand <= 0 {
@@ -50,7 +71,10 @@ func MaxMin(capacity []float64, flows []Flow) ([]float64, error) {
 
 	for nActive > 0 {
 		// Count active flows per resource.
-		count := make([]int, len(capacity))
+		count := a.count
+		for r := range count {
+			count[r] = 0
+		}
 		for i, f := range flows {
 			if !active[i] {
 				continue
@@ -118,6 +142,20 @@ func MaxMin(capacity []float64, flows []Flow) ([]float64, error) {
 		}
 	}
 	return rates, nil
+}
+
+// MaxMin is the allocation-per-call convenience wrapper around
+// Allocator.MaxMin; the returned slice is freshly allocated and owned by
+// the caller. Hot paths should hold an Allocator instead.
+func MaxMin(capacity []float64, flows []Flow) ([]float64, error) {
+	var a Allocator
+	rates, err := a.MaxMin(capacity, flows)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rates))
+	copy(out, rates)
+	return out, nil
 }
 
 // Utilization returns how much of each resource the given rates consume.

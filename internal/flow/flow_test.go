@@ -103,6 +103,64 @@ func TestZeroCapacity(t *testing.T) {
 	}
 }
 
+// TestAllocatorMatchesMaxMin checks the reusable-scratch path returns the
+// exact rates of the allocating wrapper across random networks.
+func TestAllocatorMatchesMaxMin(t *testing.T) {
+	var a Allocator
+	for seed := int64(0); seed < 200; seed++ {
+		r := rng.New(seed)
+		nRes := 1 + r.Intn(5)
+		caps := make([]float64, nRes)
+		for i := range caps {
+			caps[i] = rng.UniformIn(r, 1, 100)
+		}
+		flows := make([]Flow, 1+r.Intn(6))
+		for i := range flows {
+			flows[i].Resources = rng.PickDistinct(r, nRes, 1+r.Intn(nRes))
+			if r.Intn(2) == 0 {
+				flows[i].Demand = rng.UniformIn(r, 1, 50)
+			}
+		}
+		want, err := MaxMin(caps, flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.MaxMin(caps, flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: allocator rates %v, wrapper %v", seed, got, want)
+			}
+		}
+	}
+}
+
+// TestAllocatorZeroAllocs pins the tentpole property: steady-state MaxMin
+// calls on a warmed Allocator allocate nothing.
+func TestAllocatorZeroAllocs(t *testing.T) {
+	var a Allocator
+	caps := []float64{90, 50, 70}
+	flows := []Flow{
+		{Resources: []int{0, 1}},
+		{Resources: []int{1, 2}, Demand: 5},
+		{Resources: []int{0, 2}},
+		{Resources: []int{2}},
+	}
+	if _, err := a.MaxMin(caps, flows); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := a.MaxMin(caps, flows); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Allocator.MaxMin allocates %v per run, want 0", allocs)
+	}
+}
+
 // Properties of max-min fairness on random networks:
 //  1. feasibility: no resource over capacity,
 //  2. demands respected,

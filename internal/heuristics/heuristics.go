@@ -178,7 +178,7 @@ func Precheck(in *instance.Instance) error {
 // sellEmpty returns processors that ended up with no operators.
 func sellEmpty(m *mapping.Mapping) {
 	for _, p := range m.AliveProcs() {
-		if len(m.OpsOn(p)) == 0 {
+		if m.NumOpsOn(p) == 0 {
 			m.Sell(p)
 		}
 	}
@@ -208,27 +208,33 @@ func configsByCost(cat *platform.Catalog) []platform.Config {
 
 // neighbours lists the tree neighbours of op (operator children and
 // parent) with the steady-state traffic on the shared edge, sorted by
-// non-increasing traffic (ties: smaller operator index first).
+// non-increasing traffic (ties: smaller operator index first). A binary
+// tree bounds the neighbour count at 3, so callers pass a fixed-size
+// buffer and no allocation or sort.Slice machinery is needed.
 type neighbour struct {
 	op      int
 	traffic float64
 }
 
-func neighbours(in *instance.Instance, op int) []neighbour {
-	var out []neighbour
+func neighbours(in *instance.Instance, op int, buf *[3]neighbour) []neighbour {
+	n := 0
+	insert := func(nb neighbour) {
+		i := n
+		for i > 0 && (buf[i-1].traffic < nb.traffic ||
+			(buf[i-1].traffic == nb.traffic && buf[i-1].op > nb.op)) {
+			buf[i] = buf[i-1]
+			i--
+		}
+		buf[i] = nb
+		n++
+	}
 	for _, c := range in.Tree.Ops[op].ChildOps {
-		out = append(out, neighbour{op: c, traffic: in.EdgeTraffic(c)})
+		insert(neighbour{op: c, traffic: in.EdgeTraffic(c)})
 	}
 	if par := in.Tree.Ops[op].Parent; par != apptree.NoParent {
-		out = append(out, neighbour{op: par, traffic: in.EdgeTraffic(op)})
+		insert(neighbour{op: par, traffic: in.EdgeTraffic(op)})
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].traffic != out[b].traffic {
-			return out[a].traffic > out[b].traffic
-		}
-		return out[a].op < out[b].op
-	})
-	return out
+	return buf[:n]
 }
 
 // detachOp removes op from its processor (if any), selling the processor
@@ -239,7 +245,7 @@ func detachOp(m *mapping.Mapping, op int) bool {
 		return false
 	}
 	m.Unplace(op)
-	if len(m.OpsOn(p)) == 0 {
+	if m.NumOpsOn(p) == 0 {
 		m.Sell(p)
 	}
 	return true
@@ -294,7 +300,8 @@ func placeWithGrouping(m *mapping.Mapping, p, op int) error {
 	if m.TryPlace(p, op) {
 		return nil
 	}
-	for _, nb := range neighbours(m.Inst, op) {
+	var nbBuf [3]neighbour
+	for _, nb := range neighbours(m.Inst, op, &nbBuf) {
 		was := m.OpProc(nb.op)
 		detachOp(m, nb.op)
 		if m.TryPlace(p, op, nb.op) {

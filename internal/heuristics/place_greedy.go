@@ -130,8 +130,8 @@ func (CommGreedy) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mapping, 
 			// (iii) both assigned on different processors: try to merge
 			// one processor's operators onto the other and sell it; keep
 			// the current assignment when neither direction works.
-			if !mergeProcs(m, pv, pu) {
-				mergeProcs(m, pu, pv)
+			if !m.MoveAll(pv, pu) {
+				m.MoveAll(pu, pv)
 			}
 		}
 	}
@@ -144,19 +144,4 @@ func (CommGreedy) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mapping, 
 		}
 	}
 	return m, nil
-}
-
-// mergeProcs tries to move every operator of processor from onto processor
-// to; on success from is sold and true returned, otherwise nothing
-// changes.
-func mergeProcs(m *mapping.Mapping, from, to int) bool {
-	if from == to {
-		return false
-	}
-	ops := m.OpsOn(from)
-	if !m.TryPlace(to, ops...) {
-		return false
-	}
-	m.Sell(from)
-	return true
 }

@@ -199,7 +199,8 @@ func (ObjectAvailability) Place(in *instance.Instance, _ *rand.Rand) (*mapping.M
 // bestExistingProc returns the alive processor hosting the neighbour of op
 // with the largest shared traffic, or -1 when no neighbour is assigned.
 func bestExistingProc(m *mapping.Mapping, op int) int {
-	for _, nb := range neighbours(m.Inst, op) {
+	var nbBuf [3]neighbour
+	for _, nb := range neighbours(m.Inst, op, &nbBuf) {
 		if p := m.OpProc(nb.op); p != mapping.Unassigned {
 			return p
 		}

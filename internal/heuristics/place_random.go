@@ -48,7 +48,8 @@ func (Random) Place(in *instance.Instance, r *rand.Rand) (*mapping.Mapping, erro
 			continue
 		}
 		// Group with the most communication-demanding neighbour.
-		nbs := neighbours(in, op)
+		var nbBuf [3]neighbour
+		nbs := neighbours(in, op, &nbBuf)
 		if len(nbs) == 0 {
 			return nil, fmt.Errorf("operator %d fits no processor: %w", op, ErrInfeasible)
 		}

@@ -83,7 +83,7 @@ func (h SubtreeBottomUp) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Ma
 			// child's processor; fold that processor in first and retry.
 			for _, other := range children {
 				if q := m.OpProc(other); other != c && q != mapping.Unassigned && q != p {
-					mergeProcs(m, q, p)
+					m.MoveAll(q, p)
 				}
 			}
 			if m.TryPlace(p, op) {
@@ -112,7 +112,7 @@ func mergeChildren(m *mapping.Mapping, op int) {
 	p := m.OpProc(op)
 	for _, c := range m.Inst.Tree.Ops[op].ChildOps {
 		if q := m.OpProc(c); q != mapping.Unassigned && q != p {
-			mergeProcs(m, q, p)
+			m.MoveAll(q, p)
 		}
 	}
 }

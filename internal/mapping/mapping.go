@@ -13,15 +13,21 @@
 // processors are bought and sold, operators placed and removed, and server
 // choices recorded. Validate performs a full independent re-check of every
 // constraint from scratch, so heuristics cannot hide bookkeeping bugs.
+//
+// A Mapping is not safe for concurrent use: the constraint-checking
+// methods share per-Mapping scratch buffers (the placement heuristics
+// hammer TryPlace/ProcFeasible, and reallocating dedup sets on every call
+// dominated the solve profile), so even read-only methods may race. Batch
+// solvers give every goroutine its own Mapping.
 package mapping
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/apptree"
 	"repro/internal/instance"
 	"repro/internal/platform"
+	"repro/internal/xslice"
 )
 
 // Unassigned marks an operator without a processor.
@@ -43,6 +49,34 @@ type Mapping struct {
 	Procs  []Proc
 	Assign []int         // operator -> processor index, or Unassigned
 	DL     []map[int]int // per processor: object type -> chosen server (NoServer until selected)
+
+	scr *scratch // lazily-allocated reusable buffers, never shared via Clone
+}
+
+// scratch holds the reusable buffers behind the hot constraint checks.
+// Every user clears what it dirtied before returning, so the buffers are
+// all-false/empty between calls and methods can nest (TryPlace ->
+// ProcFeasible -> DownloadLoad) as long as they use disjoint fields.
+type scratch struct {
+	objSeen  []bool // per object type: dedup for download sums
+	opSeen   []bool // per operator: group membership in StaticNICReq
+	procSeen []bool // per processor: dedup of affected procs in TryPlace
+	affected []int  // TryPlace: procs to re-check
+	prev     []int  // TryPlace: rollback assignments
+	ops      []int  // MoveAll: operator gather buffer
+}
+
+// scratchFor returns the mapping's scratch with the per-type and per-op
+// buffers sized (those never change size); per-proc buffers are sized at
+// the point of use because Buy grows the processor list.
+func (m *Mapping) scratchFor() *scratch {
+	if m.scr == nil {
+		m.scr = &scratch{}
+	}
+	s := m.scr
+	s.objSeen = xslice.Grow(s.objSeen, m.Inst.NumTypes)
+	s.opSeen = xslice.Grow(s.opSeen, m.Inst.Tree.NumOps())
+	return s
 }
 
 // New returns an empty mapping for the instance.
@@ -113,6 +147,18 @@ func (m *Mapping) OpsOn(p int) []int {
 	return out
 }
 
+// NumOpsOn returns how many operators are assigned to p without
+// materializing the list.
+func (m *Mapping) NumOpsOn(p int) int {
+	n := 0
+	for _, q := range m.Assign {
+		if q == p {
+			n++
+		}
+	}
+	return n
+}
+
 // AliveProcs returns the ids of processors not yet sold.
 func (m *Mapping) AliveProcs() []int {
 	var out []int
@@ -149,37 +195,64 @@ func (m *Mapping) Cost() float64 {
 // SpeedUnits.
 func (m *Mapping) ComputeLoad(p int) float64 {
 	load := 0.0
-	for _, op := range m.OpsOn(p) {
-		load += m.Inst.Rho * m.Inst.W[op]
+	for op, q := range m.Assign {
+		if q == p {
+			load += m.Inst.Rho * m.Inst.W[op]
+		}
 	}
 	return load
+}
+
+// markNeeded sets objSeen for every object type the operators on p must
+// download and reports whether any was marked. Callers clear the marks.
+func (m *Mapping) markNeeded(p int, objSeen []bool) bool {
+	tree := m.Inst.Tree
+	any := false
+	for op, q := range m.Assign {
+		if q != p {
+			continue
+		}
+		for _, li := range tree.Ops[op].Leaves {
+			objSeen[tree.Leaves[li].Object] = true
+			any = true
+		}
+	}
+	return any
 }
 
 // NeededObjects returns the de-duplicated sorted object types the
 // operators on p must download (union of Leaf(i) over i in a¯(p)).
 func (m *Mapping) NeededObjects(p int) []int {
-	seen := map[int]bool{}
+	s := m.scratchFor()
+	if !m.markNeeded(p, s.objSeen) {
+		return nil
+	}
 	var out []int
-	for _, op := range m.OpsOn(p) {
-		for _, k := range m.Inst.Tree.LeafObjects(op) {
-			if !seen[k] {
-				seen[k] = true
-				out = append(out, k)
-			}
+	for k, seen := range s.objSeen {
+		if seen {
+			out = append(out, k)
+			s.objSeen[k] = false
 		}
 	}
-	sort.Ints(out)
 	return out
 }
 
 // DownloadLoad returns the NIC bandwidth p spends on basic-object
 // downloads: sum of rate_k over its needed objects (each object is
 // downloaded once per processor regardless of how many local operators
-// share it — the paper's DL(u) is a set).
+// share it — the paper's DL(u) is a set). The sum runs in ascending
+// object order, matching NeededObjects.
 func (m *Mapping) DownloadLoad(p int) float64 {
+	s := m.scratchFor()
+	if !m.markNeeded(p, s.objSeen) {
+		return 0
+	}
 	load := 0.0
-	for _, k := range m.NeededObjects(p) {
-		load += m.Inst.Rate(k)
+	for k, seen := range s.objSeen {
+		if seen {
+			load += m.Inst.Rate(k)
+			s.objSeen[k] = false
+		}
 	}
 	return load
 }
@@ -194,7 +267,10 @@ func (m *Mapping) DownloadLoad(p int) float64 {
 func (m *Mapping) CommLoad(p int) float64 {
 	load := 0.0
 	tree := m.Inst.Tree
-	for _, op := range m.OpsOn(p) {
+	for op, onP := range m.Assign {
+		if onP != p {
+			continue
+		}
 		for _, c := range tree.Ops[op].ChildOps {
 			if q := m.Assign[c]; q != p && q != Unassigned {
 				load += m.Inst.EdgeTraffic(c)
@@ -218,18 +294,36 @@ func (m *Mapping) CommLoad(p int) float64 {
 // downgrade step recovers the slack once the real crossing set is known.
 func (m *Mapping) StaticNICReq(ops ...int) float64 {
 	in := m.Inst
-	group := map[int]bool{}
+	s := m.scratchFor()
+	group, seen := s.opSeen, s.objSeen
 	for _, op := range ops {
 		group[op] = true
 	}
-	seen := map[int]bool{}
 	load := 0.0
 	for _, op := range ops {
-		for _, k := range in.Tree.LeafObjects(op) {
-			if !seen[k] {
-				seen[k] = true
-				load += in.Rate(k)
+		// A binary-tree operator has at most two leaves; sum its object
+		// types in ascending order (the LeafObjects order) without a map.
+		leaves := in.Tree.Ops[op].Leaves
+		k0, k1 := -1, -1
+		switch len(leaves) {
+		case 1:
+			k0 = in.Tree.Leaves[leaves[0]].Object
+		case 2:
+			k0, k1 = in.Tree.Leaves[leaves[0]].Object, in.Tree.Leaves[leaves[1]].Object
+			if k1 < k0 {
+				k0, k1 = k1, k0
 			}
+			if k1 == k0 {
+				k1 = -1
+			}
+		}
+		if k0 >= 0 && !seen[k0] {
+			seen[k0] = true
+			load += in.Rate(k0)
+		}
+		if k1 >= 0 && !seen[k1] {
+			seen[k1] = true
+			load += in.Rate(k1)
 		}
 		for _, c := range in.Tree.Ops[op].ChildOps {
 			if !group[c] {
@@ -238,6 +332,12 @@ func (m *Mapping) StaticNICReq(ops ...int) float64 {
 		}
 		if par := in.Tree.Ops[op].Parent; par != apptree.NoParent && !group[par] {
 			load += in.EdgeTraffic(op)
+		}
+	}
+	for _, op := range ops {
+		group[op] = false
+		for _, li := range in.Tree.Ops[op].Leaves {
+			seen[in.Tree.Leaves[li].Object] = false
 		}
 	}
 	return load
@@ -256,7 +356,10 @@ func (m *Mapping) LinkTraffic(p, q int) float64 {
 	}
 	load := 0.0
 	tree := m.Inst.Tree
-	for _, op := range m.OpsOn(p) {
+	for op, onP := range m.Assign {
+		if onP != p {
+			continue
+		}
 		for _, c := range tree.Ops[op].ChildOps {
 			if m.Assign[c] == q {
 				load += m.Inst.EdgeTraffic(c)
@@ -298,33 +401,70 @@ const eps = 1e-9
 // (5) would be violated for p or for a processor hosting a neighbour of
 // ops, the placement is rolled back and false is returned.
 func (m *Mapping) TryPlace(p int, ops ...int) bool {
-	prev := make([]int, len(ops))
+	s := m.scratchFor()
+	s.procSeen = xslice.Grow(s.procSeen, len(m.Procs))
+	s.prev = xslice.Grow(s.prev, len(ops))
+	prev := s.prev
 	for i, op := range ops {
 		prev[i] = m.Assign[op]
 		m.Place(op, p)
 	}
-	affected := map[int]bool{p: true}
+	affected := append(s.affected[:0], p)
+	s.procSeen[p] = true
 	tree := m.Inst.Tree
 	for _, op := range ops {
 		for _, c := range tree.Ops[op].ChildOps {
-			if q := m.Assign[c]; q != Unassigned {
-				affected[q] = true
+			if q := m.Assign[c]; q != Unassigned && !s.procSeen[q] {
+				s.procSeen[q] = true
+				affected = append(affected, q)
 			}
 		}
 		if par := tree.Ops[op].Parent; par != apptree.NoParent {
-			if q := m.Assign[par]; q != Unassigned {
-				affected[q] = true
+			if q := m.Assign[par]; q != Unassigned && !s.procSeen[q] {
+				s.procSeen[q] = true
+				affected = append(affected, q)
 			}
 		}
 	}
-	for q := range affected {
+	ok := true
+	for _, q := range affected {
 		if m.ProcFeasible(q) != nil {
-			for i, op := range ops {
-				m.Assign[op] = prev[i]
-			}
-			return false
+			ok = false
+			break
 		}
 	}
+	for _, q := range affected {
+		s.procSeen[q] = false
+	}
+	s.affected = affected[:0]
+	if !ok {
+		for i, op := range ops {
+			m.Assign[op] = prev[i]
+		}
+	}
+	return ok
+}
+
+// MoveAll tries to move every operator of processor from onto processor
+// to; on success from is sold and true returned, otherwise nothing
+// changes. This is the heuristics' processor-merge primitive, kept here so
+// it can gather the operator list into reusable scratch.
+func (m *Mapping) MoveAll(from, to int) bool {
+	if from == to {
+		return false
+	}
+	s := m.scratchFor()
+	ops := s.ops[:0]
+	for op, q := range m.Assign {
+		if q == from {
+			ops = append(ops, op)
+		}
+	}
+	s.ops = ops
+	if !m.TryPlace(to, ops...) {
+		return false
+	}
+	m.Sell(from)
 	return true
 }
 

@@ -16,19 +16,27 @@
 // the measured steady-state throughput converges to at least rho (the
 // bottleneck stage rate); integration tests assert this on every
 // heuristic's output.
+//
+// The engine is built for sweep workloads (thousands of simulations per
+// experiment): a Runner owns every piece of run-time state — job table,
+// event pool, flow-network scratch — and rebinds it to each mapping with
+// grow-only buffers, so repeated Simulate calls on one goroutine perform
+// zero steady-state allocations. The package-level Simulate draws Runners
+// from a sync.Pool; hot loops can hold a Runner directly.
 package stream
 
 import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"repro/internal/apptree"
 	"repro/internal/desim"
 	"repro/internal/flow"
 	"repro/internal/mapping"
 	"repro/internal/par"
+	"repro/internal/xslice"
 )
 
 // Options tunes a simulation run.
@@ -39,11 +47,17 @@ type Options struct {
 	MaxEvents int64 // event budget (default 2,000,000)
 }
 
-func (o Options) withDefaults() Options {
+// withDefaults fills unset fields and rejects contradictory ones: a
+// measurement needs at least one post-warmup result, so an explicit
+// Warmup >= Results is an error rather than a silently replaced guess.
+func (o Options) withDefaults() (Options, error) {
 	if o.Results <= 0 {
 		o.Results = 120
 	}
-	if o.Warmup <= 0 || o.Warmup >= o.Results {
+	if o.Warmup >= o.Results {
+		return o, fmt.Errorf("stream: Warmup %d leaves no measured results (Results %d)", o.Warmup, o.Results)
+	}
+	if o.Warmup <= 0 {
 		o.Warmup = o.Results / 3
 	}
 	if o.Credits <= 0 {
@@ -52,7 +66,7 @@ func (o Options) withDefaults() Options {
 	if o.MaxEvents <= 0 {
 		o.MaxEvents = 2_000_000
 	}
-	return o
+	return o, nil
 }
 
 // Report is the outcome of a simulation.
@@ -68,16 +82,21 @@ type Report struct {
 // constraint system still holds, treating download rates as fixed (they do
 // not scale with throughput) and communication as linear in rho'. It
 // returns 0 when the fixed download load alone violates a constraint and
-// +Inf only for empty mappings.
+// +Inf only for empty mappings. The scan allocates nothing: every loop
+// walks the assignment vector directly in ascending order.
 func AnalyticMaxThroughput(m *mapping.Mapping) float64 {
 	in := m.Inst
 	cat := in.Platform.Catalog
 	best := math.Inf(1)
-	procs := m.AliveProcs()
-	for _, p := range procs {
+	for p := range m.Procs {
+		if !m.Procs[p].Alive {
+			continue
+		}
 		work := 0.0 // at rho = 1
-		for _, op := range m.OpsOn(p) {
-			work += in.W[op]
+		for op, q := range m.Assign {
+			if q == p {
+				work += in.W[op]
+			}
 		}
 		if work > 0 {
 			best = math.Min(best, cat.SpeedUnits(m.Procs[p].Config)/work)
@@ -91,8 +110,14 @@ func AnalyticMaxThroughput(m *mapping.Mapping) float64 {
 			return 0
 		}
 	}
-	for i, p := range procs {
-		for _, q := range procs[i+1:] {
+	for p := range m.Procs {
+		if !m.Procs[p].Alive {
+			continue
+		}
+		for q := p + 1; q < len(m.Procs); q++ {
+			if !m.Procs[q].Alive {
+				continue
+			}
 			tr := linkAtUnitRho(m, p, q)
 			if tr > 0 {
 				best = math.Min(best, in.Platform.ProcLinkMBps/tr)
@@ -103,7 +128,10 @@ func AnalyticMaxThroughput(m *mapping.Mapping) float64 {
 		if m.ServerLoad(l) > in.Platform.Servers[l].NICMBps+1e-9 {
 			return 0
 		}
-		for _, p := range procs {
+		for p := range m.Procs {
+			if !m.Procs[p].Alive {
+				continue
+			}
 			if m.ServerLinkLoad(l, p) > in.Platform.ServerLinkMBps+1e-9 {
 				return 0
 			}
@@ -118,7 +146,10 @@ func AnalyticMaxThroughput(m *mapping.Mapping) float64 {
 func commAtUnitRho(m *mapping.Mapping, p int) float64 {
 	in := m.Inst
 	load := 0.0
-	for _, op := range m.OpsOn(p) {
+	for op, onP := range m.Assign {
+		if onP != p {
+			continue
+		}
 		for _, c := range in.Tree.Ops[op].ChildOps {
 			if m.OpProc(c) != p {
 				load += in.Delta[c]
@@ -134,7 +165,10 @@ func commAtUnitRho(m *mapping.Mapping, p int) float64 {
 func linkAtUnitRho(m *mapping.Mapping, p, q int) float64 {
 	in := m.Inst
 	load := 0.0
-	for _, op := range m.OpsOn(p) {
+	for op, onP := range m.Assign {
+		if onP != p {
+			continue
+		}
 		for _, c := range in.Tree.Ops[op].ChildOps {
 			if m.OpProc(c) == q {
 				load += in.Delta[c]
@@ -147,66 +181,78 @@ func linkAtUnitRho(m *mapping.Mapping, p, q int) float64 {
 	return load
 }
 
-// engine holds the run-time state of one simulation.
-type engine struct {
-	m   *mapping.Mapping
-	sim desim.Sim
-	opt Options
-
-	// static structure
-	procOf   []int // operator -> processor
-	speed    map[int]float64
-	nicFree  map[int]float64 // NIC capacity minus download background
-	linkBW   float64
-	children [][]int
-
-	// dynamic state
-	nextCompute []int         // per op: next result index it will compute
-	received    []map[int]int // per op: child op -> results delivered
-	computing   []bool        // per op: a compute job is active
-	sendBusy    []bool        // per op: a transfer of its output is in flight
-	sendQueue   []int         // per op: outputs produced but not yet transferred (remote parents only)
-
-	jobs        map[*job]struct{}
-	completions []float64
-	err         error
-}
-
-// orderedJobs returns the active jobs in a deterministic order (kind, op,
-// result) so float accumulation and event tie-breaking are reproducible.
-func (e *engine) orderedJobs() []*job {
-	out := make([]*job, 0, len(e.jobs))
-	for j := range e.jobs {
-		out = append(out, j)
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].kind != out[b].kind {
-			return out[a].kind < out[b].kind
-		}
-		if out[a].op != out[b].op {
-			return out[a].op < out[b].op
-		}
-		return out[a].result < out[b].result
-	})
-	return out
-}
-
-type jobKind int
-
-const (
-	jobCompute jobKind = iota
-	jobTransfer
-)
-
+// job is one unit of in-flight work: the compute of an operator's next
+// result, or the transfer of a finished result to a remote parent. Jobs
+// live in a fixed table indexed (kind, op) — at most one compute and one
+// transfer per operator are active at any instant — so iterating the
+// table visits active jobs in the deterministic (kind, op) order the
+// engine's float accumulation and event tie-breaking rely on.
 type job struct {
-	kind      jobKind
-	op        int     // computing operator, or sending child for transfers
 	result    int     // result index
 	remaining float64 // work-units or MB
 	rate      float64
 	updated   float64 // sim time of the last remaining-update
 	event     *desim.Event
+	active    bool
 }
+
+// engine holds the run-time state of one simulation. All slices are
+// grow-only and rebound per run, so one engine serves many simulations
+// without reallocating.
+type engine struct {
+	m   *mapping.Mapping
+	sim desim.Sim
+	opt Options
+
+	// static structure, rebuilt per run
+	procOf   []int // operator -> processor
+	parentOf []int // operator -> parent operator (apptree.NoParent at root)
+	speed    []float64
+	nicFree  []float64 // NIC capacity minus download background, per processor
+	children [][]int
+
+	// static flow network: capacities never change during a run, so the
+	// resource vector and each transfer's resource triple are precomputed.
+	caps     []float64
+	nicRes   []int    // processor -> resource index, -1 when not alive
+	linkRes  []int    // flattened (p*numProcs+q) -> resource index, -1 unset
+	transRes [][3]int // operator -> its transfer's (src NIC, dst NIC, link)
+
+	// job table: [0, n) compute jobs, [n, 2n) transfer jobs.
+	jobs []job
+	fire []func() // cached completion closures, one per job slot
+	self *engine  // identity check: fire closures bind to this address
+
+	// dynamic per-operator state
+	nextCompute []int  // next result index the operator will compute
+	recv        []int  // results of this operator delivered to its parent
+	computing   []bool // a compute job is active
+	sendBusy    []bool // a transfer of its output is in flight
+	sendQueue   []int  // outputs produced but not yet transferred (remote parents only)
+
+	completions []float64
+	err         error
+
+	alloc     flow.Allocator
+	flows     []flow.Flow
+	transfers []int // operators with an active transfer, ascending
+	cpuActive []int // per processor: active compute jobs
+}
+
+// Runner owns a reusable simulation engine. The zero value is ready to
+// use; a Runner must not be used concurrently (copying one is safe — the
+// next Simulate call re-anchors the engine's internal closures — but the
+// copies must still run one at a time). Each Simulate call rebinds
+// the engine to the given mapping (so mutating a mapping between calls is
+// safe) while reusing all internal buffers, giving zero steady-state
+// allocations on repeated calls. The Runner keeps references to the most
+// recently simulated mapping until the next call.
+type Runner struct {
+	e engine
+}
+
+// NewRunner returns an empty Runner; see the type comment for reuse rules.
+func NewRunner() *Runner { return &Runner{} }
 
 // SimulateBatch runs Simulate on every mapping concurrently, at most
 // workers at a time (<= 0 means GOMAXPROCS). Slot i of the returned
@@ -225,43 +271,39 @@ func SimulateBatch(ctx context.Context, ms []*mapping.Mapping, opt Options, work
 	return reps, errs
 }
 
+// runnerPool recycles engines across package-level Simulate calls; a
+// worker goroutine hammering Simulate reuses one warmed engine.
+var runnerPool = sync.Pool{New: func() any { return new(Runner) }}
+
 // Simulate runs the mapping and measures its root throughput.
 func Simulate(m *mapping.Mapping, opt Options) (*Report, error) {
+	r := runnerPool.Get().(*Runner)
+	defer runnerPool.Put(r)
+	rep, err := r.Simulate(m, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := rep
+	return &out, nil
+}
+
+// Simulate runs the mapping on the reusable engine and measures its root
+// throughput. The report is returned by value so steady-state calls do
+// not allocate.
+func (r *Runner) Simulate(m *mapping.Mapping, opt Options) (Report, error) {
+	e := &r.e
 	if !m.Complete() {
-		return nil, fmt.Errorf("stream: mapping is incomplete")
+		return Report{}, fmt.Errorf("stream: mapping is incomplete")
 	}
-	opt = opt.withDefaults()
-	in := m.Inst
-	n := in.Tree.NumOps()
-	e := &engine{
-		m:           m,
-		opt:         opt,
-		procOf:      make([]int, n),
-		speed:       map[int]float64{},
-		nicFree:     map[int]float64{},
-		linkBW:      in.Platform.ProcLinkMBps,
-		children:    make([][]int, n),
-		nextCompute: make([]int, n),
-		received:    make([]map[int]int, n),
-		computing:   make([]bool, n),
-		sendBusy:    make([]bool, n),
-		sendQueue:   make([]int, n),
-		jobs:        map[*job]struct{}{},
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return Report{}, err
 	}
-	cat := in.Platform.Catalog
-	for op := 0; op < n; op++ {
-		e.procOf[op] = m.OpProc(op)
-		e.children[op] = in.Tree.Ops[op].ChildOps
-		e.received[op] = map[int]int{}
-	}
-	for _, p := range m.AliveProcs() {
-		e.speed[p] = cat.SpeedUnits(m.Procs[p].Config)
-		e.nicFree[p] = cat.BandwidthMBps(m.Procs[p].Config) - m.DownloadLoad(p)
-		if e.nicFree[p] < 0 {
-			return nil, fmt.Errorf("stream: processor %d downloads exceed its NIC", p)
-		}
+	if err := e.bind(m, opt); err != nil {
+		return Report{}, err
 	}
 
+	n := len(e.nextCompute)
 	// Kick off every operator that can compute its first result.
 	for op := 0; op < n; op++ {
 		e.tryStartCompute(op)
@@ -270,14 +312,14 @@ func Simulate(m *mapping.Mapping, opt Options) (*Report, error) {
 
 	for e.err == nil && len(e.completions) < opt.Results {
 		if e.sim.Processed() >= opt.MaxEvents {
-			return nil, fmt.Errorf("stream: event budget exhausted after %d results", len(e.completions))
+			return Report{}, fmt.Errorf("stream: event budget exhausted after %d results", len(e.completions))
 		}
 		if !e.sim.Step() {
-			return nil, fmt.Errorf("stream: deadlock after %d results", len(e.completions))
+			return Report{}, fmt.Errorf("stream: deadlock after %d results", len(e.completions))
 		}
 	}
 	if e.err != nil {
-		return nil, e.err
+		return Report{}, e.err
 	}
 
 	first, last := e.completions[opt.Warmup], e.completions[len(e.completions)-1]
@@ -285,13 +327,120 @@ func Simulate(m *mapping.Mapping, opt Options) (*Report, error) {
 	if last > first {
 		measured = float64(len(e.completions)-1-opt.Warmup) / (last - first)
 	}
-	return &Report{
+	return Report{
 		Throughput: measured,
 		Analytic:   AnalyticMaxThroughput(m),
 		Completed:  len(e.completions),
 		SimTime:    e.sim.Now(),
 		Events:     e.sim.Processed(),
 	}, nil
+}
+
+// bind points the engine at a mapping and resets all dynamic state. Every
+// buffer is grow-only, so rebinding is allocation-free once warmed.
+func (e *engine) bind(m *mapping.Mapping, opt Options) error {
+	in := m.Inst
+	cat := in.Platform.Catalog
+	n := in.Tree.NumOps()
+	np := len(m.Procs)
+	e.m = m
+	e.opt = opt
+	e.err = nil
+	e.sim.Reset()
+
+	e.procOf = xslice.Grow(e.procOf, n)
+	e.parentOf = xslice.Grow(e.parentOf, n)
+	e.children = xslice.Grow(e.children, n)
+	e.nextCompute = xslice.Grow(e.nextCompute, n)
+	e.recv = xslice.Grow(e.recv, n)
+	e.computing = xslice.Grow(e.computing, n)
+	e.sendBusy = xslice.Grow(e.sendBusy, n)
+	e.sendQueue = xslice.Grow(e.sendQueue, n)
+	e.transRes = xslice.Grow(e.transRes, n)
+	for op := 0; op < n; op++ {
+		e.procOf[op] = m.OpProc(op)
+		e.parentOf[op] = in.Tree.Ops[op].Parent
+		e.children[op] = in.Tree.Ops[op].ChildOps
+		e.nextCompute[op] = 0
+		e.recv[op] = 0
+		e.computing[op] = false
+		e.sendBusy[op] = false
+		e.sendQueue[op] = 0
+	}
+
+	e.speed = xslice.Grow(e.speed, np)
+	e.nicFree = xslice.Grow(e.nicFree, np)
+	e.nicRes = xslice.Grow(e.nicRes, np)
+	e.cpuActive = xslice.Grow(e.cpuActive, np)
+	e.caps = e.caps[:0]
+	for p := 0; p < np; p++ {
+		e.nicRes[p] = -1
+		if !m.Procs[p].Alive {
+			continue
+		}
+		e.speed[p] = cat.SpeedUnits(m.Procs[p].Config)
+		e.nicFree[p] = cat.BandwidthMBps(m.Procs[p].Config) - m.DownloadLoad(p)
+		if e.nicFree[p] < 0 {
+			return fmt.Errorf("stream: processor %d downloads exceed its NIC", p)
+		}
+		e.nicRes[p] = len(e.caps)
+		e.caps = append(e.caps, e.nicFree[p])
+	}
+	// One shared resource per processor pair that a transfer can cross.
+	e.linkRes = xslice.Grow(e.linkRes, np*np)
+	for i := range e.linkRes {
+		e.linkRes[i] = -1
+	}
+	for op := 0; op < n; op++ {
+		par := e.parentOf[op]
+		if par == apptree.NoParent || e.procOf[par] == e.procOf[op] {
+			continue
+		}
+		from, to := e.procOf[op], e.procOf[par]
+		a, b := from, to
+		if a > b {
+			a, b = b, a
+		}
+		if e.linkRes[a*np+b] < 0 {
+			e.linkRes[a*np+b] = len(e.caps)
+			e.caps = append(e.caps, in.Platform.ProcLinkMBps)
+		}
+		e.transRes[op] = [3]int{e.nicRes[from], e.nicRes[to], e.linkRes[a*np+b]}
+	}
+
+	e.jobs = xslice.Grow(e.jobs, 2*n)
+	for i := range e.jobs {
+		e.jobs[i] = job{}
+	}
+	// The cached fire closures capture the engine's address; if the Runner
+	// was copied or moved, rebuild them so they drive this engine and not
+	// the original.
+	if e.self != e {
+		e.self = e
+		for i := range e.fire {
+			e.fire[i] = nil
+		}
+	}
+	if cap(e.fire) < 2*n {
+		fire := make([]func(), 2*n, 2*n+n)
+		copy(fire, e.fire)
+		e.fire = fire
+	} else {
+		e.fire = e.fire[:2*n]
+	}
+	for i := range e.fire {
+		if e.fire[i] == nil {
+			idx := i
+			e.fire[i] = func() { e.finish(idx) }
+		}
+	}
+
+	if cap(e.completions) < opt.Results {
+		e.completions = make([]float64, 0, opt.Results)
+	} else {
+		e.completions = e.completions[:0]
+	}
+	return nil
 }
 
 // canCompute checks input availability and pipeline credits for op's next
@@ -302,7 +451,7 @@ func (e *engine) canCompute(op int) bool {
 		return false
 	}
 	// Credit: do not run more than Credits results ahead of the parent.
-	if par := e.m.Inst.Tree.Ops[op].Parent; par != apptree.NoParent {
+	if par := e.parentOf[op]; par != apptree.NoParent {
 		if t >= e.nextCompute[par]+e.opt.Credits {
 			return false
 		}
@@ -314,7 +463,7 @@ func (e *engine) canCompute(op int) bool {
 		return false
 	}
 	for _, c := range e.children[op] {
-		if e.received[op][c] <= t {
+		if e.recv[c] <= t {
 			return false
 		}
 	}
@@ -326,26 +475,23 @@ func (e *engine) tryStartCompute(op int) {
 		return
 	}
 	e.computing[op] = true
-	j := &job{
-		kind:      jobCompute,
-		op:        op,
+	e.jobs[op] = job{
 		result:    e.nextCompute[op],
 		remaining: e.m.Inst.W[op],
 		updated:   e.sim.Now(),
+		active:    true,
 	}
-	e.jobs[j] = struct{}{}
 }
 
 // computeDone handles the completion of op's result t.
 func (e *engine) computeDone(op, t int) {
 	e.computing[op] = false
 	e.nextCompute[op] = t + 1
-	in := e.m.Inst
-	par := in.Tree.Ops[op].Parent
+	par := e.parentOf[op]
 	if par == apptree.NoParent {
 		e.completions = append(e.completions, e.sim.Now())
 	} else if e.procOf[par] == e.procOf[op] {
-		e.received[par][op] = t + 1
+		e.recv[op] = t + 1
 		e.tryStartCompute(par)
 	} else {
 		e.sendQueue[op]++
@@ -368,32 +514,38 @@ func (e *engine) tryStartTransfer(op int) {
 	e.sendBusy[op] = true
 	e.sendQueue[op]--
 	t := e.nextCompute[op] - 1 - e.sendQueue[op] // oldest unsent result
-	j := &job{
-		kind:      jobTransfer,
-		op:        op,
+	n := len(e.nextCompute)
+	e.jobs[n+op] = job{
 		result:    t,
 		remaining: e.m.Inst.Delta[op],
 		updated:   e.sim.Now(),
+		active:    true,
 	}
-	e.jobs[j] = struct{}{}
 }
 
 func (e *engine) transferDone(op, t int) {
 	e.sendBusy[op] = false
-	par := e.m.Inst.Tree.Ops[op].Parent
-	e.received[par][op] = t + 1
+	par := e.parentOf[op]
+	e.recv[op] = t + 1
 	e.tryStartCompute(par)
 	e.tryStartTransfer(op)
 	e.tryStartCompute(op)
 }
 
 // reflow recomputes every active job's progress and rate and reschedules
-// completion events. Called after any state change.
+// completion events. Called after any state change. Jobs are visited in
+// table order — computes by ascending operator, then transfers — which is
+// exactly the (kind, op) order the float accumulation and the event
+// tie-breaking were defined with.
 func (e *engine) reflow() {
 	now := e.sim.Now()
-	ordered := e.orderedJobs()
+	n := len(e.nextCompute)
 	// Settle progress under the old rates.
-	for _, j := range ordered {
+	for i := range e.jobs {
+		j := &e.jobs[i]
+		if !j.active {
+			continue
+		}
 		if j.rate > 0 {
 			j.remaining -= j.rate * (now - j.updated)
 			if j.remaining < 0 {
@@ -408,78 +560,61 @@ func (e *engine) reflow() {
 	}
 
 	// CPU rates: processor sharing per processor.
-	active := map[int]int{}
-	for _, j := range ordered {
-		if j.kind == jobCompute {
-			active[e.procOf[j.op]]++
+	for p := range e.cpuActive {
+		e.cpuActive[p] = 0
+	}
+	for op := 0; op < n; op++ {
+		if e.jobs[op].active {
+			e.cpuActive[e.procOf[op]]++
 		}
 	}
-	// Transfer rates: max-min over NIC and link resources.
-	var transfers []*job
-	for _, j := range ordered {
-		if j.kind == jobTransfer {
-			transfers = append(transfers, j)
+	// Transfer rates: max-min over the precomputed NIC and link resources.
+	e.transfers = e.transfers[:0]
+	e.flows = e.flows[:0]
+	for op := 0; op < n; op++ {
+		if e.jobs[n+op].active {
+			e.transfers = append(e.transfers, op)
+			e.flows = append(e.flows, flow.Flow{Resources: e.transRes[op][:]})
 		}
 	}
-	rates := map[*job]float64{}
-	if len(transfers) > 0 {
-		resIndex := map[string]int{}
-		var caps []float64
-		resource := func(name string, cap float64) int {
-			if i, ok := resIndex[name]; ok {
-				return i
-			}
-			resIndex[name] = len(caps)
-			caps = append(caps, cap)
-			return len(caps) - 1
-		}
-		flows := make([]flow.Flow, len(transfers))
-		for i, j := range transfers {
-			from := e.procOf[j.op]
-			to := e.procOf[e.m.Inst.Tree.Ops[j.op].Parent]
-			a, b := from, to
-			if a > b {
-				a, b = b, a
-			}
-			flows[i].Resources = []int{
-				resource(fmt.Sprintf("nic%d", from), e.nicFree[from]),
-				resource(fmt.Sprintf("nic%d", to), e.nicFree[to]),
-				resource(fmt.Sprintf("link%d-%d", a, b), e.linkBW),
-			}
-		}
-		got, err := flow.MaxMin(caps, flows)
+	if len(e.flows) > 0 {
+		rates, err := e.alloc.MaxMin(e.caps, e.flows)
 		if err != nil {
 			e.err = fmt.Errorf("stream: %v", err)
 			return
 		}
-		for i, j := range transfers {
-			rates[j] = got[i]
+		for i, op := range e.transfers {
+			e.jobs[n+op].rate = rates[i]
 		}
 	}
 
-	for _, j := range ordered {
-		switch j.kind {
-		case jobCompute:
-			j.rate = e.speed[e.procOf[j.op]] / float64(active[e.procOf[j.op]])
-		case jobTransfer:
-			j.rate = rates[j]
+	for i := range e.jobs {
+		j := &e.jobs[i]
+		if !j.active {
+			continue
+		}
+		if i < n {
+			p := e.procOf[i]
+			j.rate = e.speed[p] / float64(e.cpuActive[p])
 		}
 		if j.rate <= 0 {
-			e.err = fmt.Errorf("stream: job stalled at zero rate (op %d)", j.op)
+			e.err = fmt.Errorf("stream: job stalled at zero rate (op %d)", i%n)
 			return
 		}
-		jj := j
-		j.event = e.sim.After(j.remaining/j.rate, func() { e.finish(jj) })
+		j.event = e.sim.After(j.remaining/j.rate, e.fire[i])
 	}
 }
 
-func (e *engine) finish(j *job) {
-	delete(e.jobs, j)
-	switch j.kind {
-	case jobCompute:
-		e.computeDone(j.op, j.result)
-	case jobTransfer:
-		e.transferDone(j.op, j.result)
+// finish retires job slot idx and advances the pipeline.
+func (e *engine) finish(idx int) {
+	n := len(e.nextCompute)
+	j := &e.jobs[idx]
+	j.active = false
+	j.event = nil
+	if idx < n {
+		e.computeDone(idx, j.result)
+	} else {
+		e.transferDone(idx-n, j.result)
 	}
 	e.reflow()
 }

@@ -229,6 +229,95 @@ func TestCreditsLimitPipelineDepth(t *testing.T) {
 	}
 }
 
+// TestContradictoryWarmupRejected pins the options fix: an explicit
+// Warmup that leaves no measured results is an error, not a silent guess.
+func TestContradictoryWarmupRejected(t *testing.T) {
+	in := paperInstance()
+	m := onePlacement(in)
+	for _, opt := range []Options{
+		{Results: 50, Warmup: 50},
+		{Results: 50, Warmup: 80},
+		{Warmup: 120}, // default Results = 120
+	} {
+		if _, err := Simulate(m, opt); err == nil {
+			t.Fatalf("Options %+v accepted; want contradictory-warmup error", opt)
+		}
+	}
+	if _, err := Simulate(m, Options{Results: 50, Warmup: 49}); err != nil {
+		t.Fatalf("Warmup just under Results rejected: %v", err)
+	}
+}
+
+// TestRunnerMatchesSimulate checks the reusable engine returns the exact
+// report of the one-shot path, across mappings and repeated runs.
+func TestRunnerMatchesSimulate(t *testing.T) {
+	r := NewRunner()
+	for seed := int64(0); seed < 4; seed++ {
+		in := instance.Generate(instance.Config{NumOps: 18, Alpha: 1.2}, seed)
+		res, err := heuristics.Solve(in, heuristics.SubtreeBottomUp{}, heuristics.Options{Seed: seed})
+		if err != nil {
+			continue
+		}
+		want, err := Simulate(res.Mapping, Options{Results: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 2; rep++ {
+			got, err := r.Simulate(res.Mapping, Options{Results: 60})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != *want {
+				t.Fatalf("seed %d run %d: runner %+v, simulate %+v", seed, rep, got, *want)
+			}
+		}
+	}
+}
+
+// TestCopiedRunnerReanchors checks a copied Runner drives its own engine:
+// the cached completion closures re-anchor on the next bind instead of
+// firing into the original engine.
+func TestCopiedRunnerReanchors(t *testing.T) {
+	in := paperInstance()
+	m := onePlacement(in)
+	r := NewRunner()
+	want, err := r.Simulate(m, Options{Results: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := *r
+	got, err := cp.Simulate(m, Options{Results: 50})
+	if err != nil {
+		t.Fatalf("copied runner: %v", err)
+	}
+	if got != want {
+		t.Fatalf("copied runner report %+v, original %+v", got, want)
+	}
+}
+
+// TestRunnerZeroAllocs pins the tentpole property: repeated simulations on
+// a warmed Runner allocate nothing.
+func TestRunnerZeroAllocs(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 20, Alpha: 1.1}, 1)
+	res, err := heuristics.Solve(in, heuristics.SubtreeBottomUp{}, heuristics.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner()
+	opt := Options{Results: 60}
+	if _, err := r.Simulate(res.Mapping, opt); err != nil { // warm every buffer
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := r.Simulate(res.Mapping, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Runner.Simulate allocates %v per run, want 0", allocs)
+	}
+}
+
 func TestThroughputScalesWithSpeed(t *testing.T) {
 	in := paperInstance()
 	m := onePlacement(in)

@@ -1,0 +1,15 @@
+// Package xslice holds the one slice helper the zero-allocation hot
+// paths share: grow-only buffer resizing. flow, mapping and stream all
+// recycle scratch through it, so the growth policy lives in one place.
+package xslice
+
+// Grow returns buf resized to n, reallocating (with headroom) only when
+// capacity is short. Recycled storage keeps its previous values; fresh
+// storage is zeroed by make. Callers that need cleared buffers reset the
+// entries they dirty.
+func Grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n, n+n/2)
+	}
+	return buf[:n]
+}

@@ -66,7 +66,15 @@ type (
 	SimOptions = stream.Options
 	// SimReport is the stream engine's measurement.
 	SimReport = stream.Report
+	// SimRunner is a reusable simulation engine: repeated Simulate calls
+	// on one goroutine reuse every internal buffer and allocate nothing
+	// in steady state. Not safe for concurrent use.
+	SimRunner = stream.Runner
 )
+
+// NewSimRunner returns a reusable simulation engine for hot loops; the
+// package-level Simulate already draws pooled runners for one-shot calls.
+func NewSimRunner() *SimRunner { return stream.NewRunner() }
 
 // Generate builds a random instance per the paper's methodology; see
 // InstanceConfig for the knobs (zero values mean the paper's defaults).
