@@ -29,11 +29,13 @@ bench:
 bench-json:
 	$(GO) run ./cmd/bench -iters-scale $(BENCH_ITERS_SCALE) -o BENCH_results.json
 
-# Gate BENCH_results.json against the committed baseline: fails on >25%
-# calibration-normalized ns/op growth or allocs/op growth beyond the
-# noise floor on any alloc-gated entry.
+# Gate BENCH_results.json against the committed baseline: fails on >20%
+# calibration-normalized median-ns/op growth (entries sub-10us on both
+# sides exempt), allocs/op growth beyond the noise floor on any
+# alloc-gated entry, or unmatched entries (dropped benchmarks, or new
+# alloc-gated ones the baseline does not cover yet).
 bench-compare:
-	$(GO) run ./cmd/bench -compare BENCH_baseline.json BENCH_results.json
+	$(GO) run ./cmd/bench -compare -ns-threshold 0.20 BENCH_baseline.json BENCH_results.json
 
 # Refresh the committed baseline after an intentional perf change.
 bench-baseline:

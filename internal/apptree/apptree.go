@@ -23,6 +23,8 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+
+	"repro/internal/xslice"
 )
 
 // NoParent marks the root operator's Parent field.
@@ -75,17 +77,35 @@ func (t *Tree) ALOperators() []int {
 // LeafObjects returns the sorted de-duplicated set Leaf(i) of basic-object
 // types operator i must download.
 func (t *Tree) LeafObjects(i int) []int {
-	seen := map[int]bool{}
-	var out []int
+	var buf [2]int
+	objs := t.LeafObjectsBuf(i, &buf)
+	if objs == nil {
+		return nil
+	}
+	return append([]int(nil), objs...)
+}
+
+// LeafObjectsBuf is LeafObjects into a caller-provided buffer — a
+// binary-tree operator has at most two leaves, so Leaf(i) always fits
+// [2]int and hot loops (placement heuristics, Popularity) pay no
+// allocation. Returns nil for operators without leaf children.
+func (t *Tree) LeafObjectsBuf(i int, buf *[2]int) []int {
+	n := 0
 	for _, li := range t.Ops[i].Leaves {
 		k := t.Leaves[li].Object
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, k)
+		if n == 1 && buf[0] == k {
+			continue
 		}
+		buf[n] = k
+		n++
 	}
-	sort.Ints(out)
-	return out
+	if n == 0 {
+		return nil
+	}
+	if n == 2 && buf[1] < buf[0] {
+		buf[0], buf[1] = buf[1], buf[0]
+	}
+	return buf[:n]
 }
 
 // ObjectSet returns the sorted set of distinct basic-object types used
@@ -108,8 +128,9 @@ func (t *Tree) ObjectSet() []int {
 // An operator with two leaves of the same type counts once.
 func (t *Tree) Popularity(numTypes int) []int {
 	pop := make([]int, numTypes)
+	var buf [2]int
 	for i := range t.Ops {
-		for _, k := range t.LeafObjects(i) {
+		for _, k := range t.LeafObjectsBuf(i, &buf) {
 			pop[k]++
 		}
 	}
@@ -290,37 +311,79 @@ func (t *Tree) Validate() error {
 // "randomly generated binary operator trees ... all leaves correspond to
 // basic objects, and each basic object is chosen randomly among 15
 // different types".
+//
+// Operators are indexed in construction pre-order, so every operator's
+// index is smaller than its children's — the invariant DeriveInto's fast
+// path relies on (see TestRandomPreorderIndices).
 func Random(r *rand.Rand, numOps, numTypes int) *Tree {
+	// The one-shot builder is discarded, making the returned tree the sole
+	// owner of its storage.
+	return new(Builder).Random(r, numOps, numTypes)
+}
+
+// Builder builds Random trees on reusable storage: the operator and leaf
+// tables are grow-only, and every operator's ChildOps/Leaves slice is
+// carved out of two shared arenas (a binary-tree operator has at most two
+// children total), so steady-state tree generation does not allocate.
+// The returned *Tree aliases the builder's storage and is valid only
+// until the next Random call; instance.Generator owns one Builder per
+// sweep worker.
+type Builder struct {
+	tree                  Tree
+	childArena, leafArena []int
+}
+
+// Random is apptree.Random on the builder's reusable storage. It consumes
+// exactly the same stream from r, so shapes are byte-identical to the
+// package-level function's.
+func (b *Builder) Random(r *rand.Rand, numOps, numTypes int) *Tree {
 	if numOps < 1 {
 		panic("apptree: Random needs numOps >= 1")
 	}
 	if numTypes < 1 {
 		panic("apptree: Random needs numTypes >= 1")
 	}
-	t := &Tree{}
-	// build(n) creates a subtree containing n operators and returns its
-	// root operator index; n == 0 yields a leaf (returns -1 and the caller
-	// attaches a Leaf instead).
-	var build func(n, parent int) int
-	build = func(n, parent int) int {
-		id := len(t.Ops)
-		t.Ops = append(t.Ops, Operator{Parent: parent})
-		nl := r.Intn(n) // operators in the left subtree: 0..n-1
-		nr := n - 1 - nl
-		for _, sub := range []int{nl, nr} {
-			if sub == 0 {
-				li := len(t.Leaves)
-				t.Leaves = append(t.Leaves, Leaf{Object: r.Intn(numTypes), Parent: id})
-				t.Ops[id].Leaves = append(t.Ops[id].Leaves, li)
-			} else {
-				c := build(sub, id)
-				t.Ops[id].ChildOps = append(t.Ops[id].ChildOps, c)
-			}
-		}
-		return id
+	if cap(b.tree.Ops) < numOps {
+		b.tree.Ops = make([]Operator, 0, numOps)
+	} else {
+		b.tree.Ops = b.tree.Ops[:0]
 	}
-	t.Root = build(numOps, NoParent)
-	return t
+	if cap(b.tree.Leaves) < numOps+1 {
+		b.tree.Leaves = make([]Leaf, 0, numOps+1)
+	} else {
+		b.tree.Leaves = b.tree.Leaves[:0]
+	}
+	if cap(b.childArena) < 2*numOps {
+		b.childArena = make([]int, 2*numOps)
+		b.leafArena = make([]int, 2*numOps)
+	}
+	b.tree.Root = b.build(r, numTypes, numOps, NoParent)
+	return &b.tree
+}
+
+// build creates a subtree containing n operators and returns its root
+// operator index; a zero-operator side becomes a basic-object leaf.
+func (b *Builder) build(r *rand.Rand, numTypes, n, parent int) int {
+	t := &b.tree
+	id := len(t.Ops)
+	t.Ops = append(t.Ops, Operator{
+		Parent:   parent,
+		ChildOps: b.childArena[2*id : 2*id : 2*id+2],
+		Leaves:   b.leafArena[2*id : 2*id : 2*id+2],
+	})
+	nl := r.Intn(n) // operators in the left subtree: 0..n-1
+	nr := n - 1 - nl
+	for _, sub := range [2]int{nl, nr} {
+		if sub == 0 {
+			li := len(t.Leaves)
+			t.Leaves = append(t.Leaves, Leaf{Object: r.Intn(numTypes), Parent: id})
+			t.Ops[id].Leaves = append(t.Ops[id].Leaves, li)
+		} else {
+			c := b.build(r, numTypes, sub, id)
+			t.Ops[id].ChildOps = append(t.Ops[id].ChildOps, c)
+		}
+	}
+	return id
 }
 
 // LeftDeep builds the paper's Figure 1(b) shape: a left-deep tree whose
@@ -398,15 +461,46 @@ func (t *Tree) Derive(sizes []float64, alpha float64) (w, delta []float64) {
 	w = make([]float64, len(t.Ops))
 	delta = make([]float64, len(t.Ops))
 	for _, i := range t.BottomUp() {
-		sum := 0.0
+		t.deriveOp(i, sizes, alpha, w, delta)
+	}
+	return w, delta
+}
+
+// deriveOp computes delta_i and w_i assuming the children are done. The
+// summation order (operator children, then leaves) is shared by Derive
+// and DeriveInto so both produce bit-identical values.
+func (t *Tree) deriveOp(i int, sizes []float64, alpha float64, w, delta []float64) {
+	sum := 0.0
+	for _, c := range t.Ops[i].ChildOps {
+		sum += delta[c]
+	}
+	for _, li := range t.Ops[i].Leaves {
+		sum += sizes[t.Leaves[li].Object]
+	}
+	delta[i] = sum
+	w[i] = math.Pow(sum, alpha)
+}
+
+// DeriveInto is Derive reusing caller-provided buffers (grown as needed).
+// Trees indexed in pre-order — every operator before its children, as
+// Random and Builder.Random guarantee — are derived in one reverse pass
+// with zero allocations; arbitrary trees fall back to the allocating
+// bottom-up traversal.
+func (t *Tree) DeriveInto(sizes []float64, alpha float64, w, delta []float64) ([]float64, []float64) {
+	n := len(t.Ops)
+	w, delta = xslice.Grow(w, n), xslice.Grow(delta, n)
+	for i := range t.Ops {
 		for _, c := range t.Ops[i].ChildOps {
-			sum += delta[c]
+			if c < i {
+				ww, dd := t.Derive(sizes, alpha)
+				copy(w, ww)
+				copy(delta, dd)
+				return w, delta
+			}
 		}
-		for _, li := range t.Ops[i].Leaves {
-			sum += sizes[t.Leaves[li].Object]
-		}
-		delta[i] = sum
-		w[i] = math.Pow(sum, alpha)
+	}
+	for i := n - 1; i >= 0; i-- {
+		t.deriveOp(i, sizes, alpha, w, delta)
 	}
 	return w, delta
 }

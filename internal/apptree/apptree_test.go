@@ -2,6 +2,8 @@ package apptree
 
 import (
 	"math"
+	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -273,5 +275,68 @@ func TestValidateEmptyTree(t *testing.T) {
 	var tr Tree
 	if tr.Validate() == nil {
 		t.Fatal("empty tree must be invalid")
+	}
+}
+
+func TestBuilderRandomMatchesRandom(t *testing.T) {
+	// A reused Builder must produce trees identical to the one-shot
+	// Random across varying sizes (growing and shrinking its storage).
+	var b Builder
+	for _, n := range []int{1, 7, 40, 3, 60, 2} {
+		want := Random(rand.New(rand.NewSource(int64(n)*17+1)), n, 5)
+		got := b.Random(rand.New(rand.NewSource(int64(n)*17+1)), n, 5)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("n=%d: builder tree differs from Random's", n)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestBuilderRandomAllocFree(t *testing.T) {
+	var b Builder
+	r := rand.New(rand.NewSource(1))
+	b.Random(r, 50, 5) // warm the arenas
+	allocs := testing.AllocsPerRun(20, func() {
+		b.Random(r, 50, 5)
+	})
+	if allocs > 0 {
+		t.Fatalf("warmed builder allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestRandomPreorderIndices(t *testing.T) {
+	// DeriveInto's reverse-pass fast path relies on Random indexing every
+	// operator before its children.
+	for seed := int64(1); seed <= 20; seed++ {
+		tr := Random(rand.New(rand.NewSource(seed)), 30, 4)
+		for i, op := range tr.Ops {
+			for _, c := range op.ChildOps {
+				if c <= i {
+					t.Fatalf("seed %d: operator %d has child %d <= its own index", seed, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestDeriveIntoMatchesDerive(t *testing.T) {
+	sizes := []float64{3, 5, 8, 2}
+	var w, delta []float64
+	// Random trees take the reverse-pass fast path; LeftDeep trees index
+	// children before parents and must hit the fallback.
+	trees := []*Tree{
+		Random(rand.New(rand.NewSource(3)), 25, 4),
+		LeftDeep([]int{0, 1, 2, 3, 1}),
+	}
+	for ti, tr := range trees {
+		for _, alpha := range []float64{0.9, 1, 1.7} {
+			wantW, wantD := tr.Derive(sizes, alpha)
+			w, delta = tr.DeriveInto(sizes, alpha, w, delta)
+			if !reflect.DeepEqual(wantW, w) || !reflect.DeepEqual(wantD, delta) {
+				t.Fatalf("tree %d alpha %g: DeriveInto differs from Derive", ti, alpha)
+			}
+		}
 	}
 }

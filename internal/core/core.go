@@ -230,9 +230,14 @@ type CorpusItem struct {
 
 // CorpusNs and CorpusAlphas are the canonical benchmark grid: the paper's
 // evaluation sweeps tree size and computation exponent, and these pinned
-// points cover its small/medium/large and sub/super-linear regimes.
+// points cover its small/medium/large and sub/super-linear regimes. The
+// N=300/600 cells (beyond the paper's N<=140 sweeps) became affordable
+// once solve stopped allocating; they exist to expose O(N^2) hotspots
+// such as TryPlace's affected-processor scans. At alpha=1.7 they fail
+// Precheck immediately — a legitimate corpus outcome that pins the
+// fast-reject path.
 var (
-	CorpusNs     = []int{20, 60, 140}
+	CorpusNs     = []int{20, 60, 140, 300, 600}
 	CorpusAlphas = []float64{0.9, 1.7}
 )
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/instance"
 	"repro/internal/par"
 	"repro/internal/stats"
+	"repro/internal/stream"
 	"repro/internal/textplot"
 )
 
@@ -69,12 +70,31 @@ func heuristicSet() []heuristics.Heuristic {
 	return append(heuristics.All(), heuristics.SubtreeBottomUp{DisableFold: true})
 }
 
+// sweepCtx is one sweep worker's reusable state: an instance generator,
+// a solve context and (for the simulation harnesses) a stream runner,
+// all recycled across the worker's items so a figure-sized sweep stops
+// re-allocating per (heuristic, x, seed) cell. Each worker of a
+// par.ForEachWorker pool owns exactly one sweepCtx; instances produced
+// by gen are solved and discarded before the worker's next item.
+type sweepCtx struct {
+	gen    instance.Generator
+	sc     heuristics.SolveContext
+	runner stream.Runner
+}
+
+// sweepCtxs returns one context per pool worker.
+func sweepCtxs(workers, n int) []sweepCtx {
+	return make([]sweepCtx, par.Workers(workers, n))
+}
+
 // sweep evaluates every heuristic at every x, averaging cost over seeds.
 // The (heuristic, x, seed) grid is flattened into independent work items
 // fanned across cfg.Workers goroutines; the reduction below merges the
 // per-item cells back in input order, so the resulting Series — and the
 // Figure.Dat() bytes rendered from them — are identical to a serial run.
-func sweep(cfg Config, xs []float64, mk func(x float64, seed int64) *instance.Instance,
+// mk receives the worker's instance generator; the instance it returns
+// is owned by that generator and lives only for the one solve.
+func sweep(cfg Config, xs []float64, mk func(g *instance.Generator, x float64, seed int64) *instance.Instance,
 	opts func(h heuristics.Heuristic) heuristics.Options) []Series {
 	cfg = cfg.withDefaults()
 	hs := heuristicSet()
@@ -84,17 +104,19 @@ func sweep(cfg Config, xs []float64, mk func(x float64, seed int64) *instance.In
 		ok   bool
 	}
 	cells := make([]cell, len(hs)*nx*ns)
-	par.ForEach(context.Background(), cfg.Workers, len(cells), func(idx int) {
+	ctxs := sweepCtxs(cfg.Workers, len(cells))
+	par.ForEachWorker(context.Background(), cfg.Workers, len(cells), func(w, idx int) {
+		c := &ctxs[w]
 		h := hs[idx/(nx*ns)]
 		x := xs[(idx/ns)%nx]
 		seed := cfg.BaseSeed + int64(idx%ns)
-		in := mk(x, seed)
+		in := mk(&c.gen, x, seed)
 		o := heuristics.Options{Seed: seed}
 		if opts != nil {
 			o = opts(h)
 			o.Seed = seed
 		}
-		if res, err := heuristics.Solve(in, h, o); err == nil {
+		if res, err := c.sc.Solve(in, h, o); err == nil {
 			cells[idx] = cell{cost: res.Cost, ok: true}
 		}
 	})
@@ -141,8 +163,8 @@ func Fig2a(cfg Config) *Figure {
 	return &Figure{
 		ID: "fig2a", Title: "Figure 2(a): cost vs N (alpha=0.9, f=1/2s, small objects)",
 		XLabel: "number of nodes", YLabel: "cost ($)",
-		Series: sweep(cfg, nRange(), func(x float64, seed int64) *instance.Instance {
-			return instance.Generate(instance.Config{NumOps: int(x), Alpha: 0.9}, seed)
+		Series: sweep(cfg, nRange(), func(g *instance.Generator, x float64, seed int64) *instance.Instance {
+			return g.Generate(instance.Config{NumOps: int(x), Alpha: 0.9}, seed)
 		}, nil),
 	}
 }
@@ -152,8 +174,8 @@ func Fig2b(cfg Config) *Figure {
 	return &Figure{
 		ID: "fig2b", Title: "Figure 2(b): cost vs N (alpha=1.7, f=1/2s, small objects)",
 		XLabel: "number of nodes", YLabel: "cost ($)",
-		Series: sweep(cfg, nRange(), func(x float64, seed int64) *instance.Instance {
-			return instance.Generate(instance.Config{NumOps: int(x), Alpha: 1.7}, seed)
+		Series: sweep(cfg, nRange(), func(g *instance.Generator, x float64, seed int64) *instance.Instance {
+			return g.Generate(instance.Config{NumOps: int(x), Alpha: 1.7}, seed)
 		}, nil),
 	}
 }
@@ -163,8 +185,8 @@ func Fig3(cfg Config) *Figure {
 	return &Figure{
 		ID: "fig3", Title: "Figure 3: cost vs alpha (N=60, f=1/2s, small objects)",
 		XLabel: "alpha", YLabel: "cost ($)",
-		Series: sweep(cfg, alphaRange(), func(x float64, seed int64) *instance.Instance {
-			return instance.Generate(instance.Config{NumOps: 60, Alpha: x}, seed)
+		Series: sweep(cfg, alphaRange(), func(g *instance.Generator, x float64, seed int64) *instance.Instance {
+			return g.Generate(instance.Config{NumOps: 60, Alpha: x}, seed)
 		}, nil),
 	}
 }
@@ -175,8 +197,8 @@ func Fig3SmallTree(cfg Config) *Figure {
 	return &Figure{
 		ID: "fig3n20", Title: "cost vs alpha (N=20, f=1/2s, small objects)",
 		XLabel: "alpha", YLabel: "cost ($)",
-		Series: sweep(cfg, alphaRange(), func(x float64, seed int64) *instance.Instance {
-			return instance.Generate(instance.Config{NumOps: 20, Alpha: x}, seed)
+		Series: sweep(cfg, alphaRange(), func(g *instance.Generator, x float64, seed int64) *instance.Instance {
+			return g.Generate(instance.Config{NumOps: 20, Alpha: x}, seed)
 		}, nil),
 	}
 }
@@ -188,8 +210,8 @@ func LargeObjects(cfg Config) *Figure {
 	return &Figure{
 		ID: "large", Title: "cost vs N (alpha=0.9, f=1/2s, LARGE objects 450-530MB)",
 		XLabel: "number of nodes", YLabel: "cost ($)",
-		Series: sweep(cfg, xs, func(x float64, seed int64) *instance.Instance {
-			return instance.Generate(instance.Config{NumOps: int(x), Alpha: 0.9, SizeMin: 450, SizeMax: 530}, seed)
+		Series: sweep(cfg, xs, func(g *instance.Generator, x float64, seed int64) *instance.Instance {
+			return g.Generate(instance.Config{NumOps: int(x), Alpha: 0.9, SizeMin: 450, SizeMax: 530}, seed)
 		}, nil),
 	}
 }
@@ -202,8 +224,8 @@ func FrequencySweep(cfg Config) *Figure {
 	return &Figure{
 		ID: "freq", Title: "cost vs update period 1/f (N=60, alpha=0.9, small objects)",
 		XLabel: "update period (s)", YLabel: "cost ($)",
-		Series: sweep(cfg, periods, func(x float64, seed int64) *instance.Instance {
-			return instance.Generate(instance.Config{NumOps: 60, Alpha: 0.9, Freq: 1 / x}, seed)
+		Series: sweep(cfg, periods, func(g *instance.Generator, x float64, seed int64) *instance.Instance {
+			return g.Generate(instance.Config{NumOps: 60, Alpha: 0.9, Freq: 1 / x}, seed)
 		}, nil),
 	}
 }
@@ -219,8 +241,8 @@ func AblationDowngrade(cfg Config) *Figure {
 		label string
 		skip  bool
 	}{{"with downgrade", false}, {"without downgrade", true}} {
-		s := sweep(cfg, nRange(), func(x float64, seed int64) *instance.Instance {
-			return instance.Generate(instance.Config{NumOps: int(x), Alpha: 0.9}, seed)
+		s := sweep(cfg, nRange(), func(g *instance.Generator, x float64, seed int64) *instance.Instance {
+			return g.Generate(instance.Config{NumOps: int(x), Alpha: 0.9}, seed)
 		}, func(heuristics.Heuristic) heuristics.Options {
 			return heuristics.Options{SkipDowngrade: variant.skip}
 		})
@@ -251,11 +273,13 @@ func AblationSelection(cfg Config) *Figure {
 		s := Series{Label: "Subtree-bottom-up (" + variant.label + ")"}
 		xs := nRange()
 		feasible := make([]bool, len(xs)*cfg.Seeds)
-		par.ForEach(context.Background(), cfg.Workers, len(feasible), func(idx int) {
+		ctxs := sweepCtxs(cfg.Workers, len(feasible))
+		par.ForEachWorker(context.Background(), cfg.Workers, len(feasible), func(w, idx int) {
+			c := &ctxs[w]
 			x := xs[idx/cfg.Seeds]
 			seed := cfg.BaseSeed + int64(idx%cfg.Seeds)
-			in := instance.Generate(instance.Config{NumOps: int(x), Alpha: 0.9}, seed)
-			_, err := heuristics.Solve(in, heuristics.SubtreeBottomUp{},
+			in := c.gen.Generate(instance.Config{NumOps: int(x), Alpha: 0.9}, seed)
+			_, err := c.sc.Solve(in, heuristics.SubtreeBottomUp{},
 				heuristics.Options{Seed: seed, Selection: variant.mode})
 			feasible[idx] = err == nil
 		})

@@ -181,20 +181,22 @@ func ThroughputValidation(cfg Config) *Table {
 	type cell struct {
 		feasible bool
 		simErr   bool
-		rep      *stream.Report
+		rep      stream.Report
 		rho      float64
 	}
 	cells := make([]cell, len(ns)*len(hs)*cfg.Seeds)
-	par.ForEach(context.Background(), cfg.Workers, len(cells), func(idx int) {
+	ctxs := sweepCtxs(cfg.Workers, len(cells))
+	par.ForEachWorker(context.Background(), cfg.Workers, len(cells), func(w, idx int) {
+		c := &ctxs[w]
 		n := ns[idx/(len(hs)*cfg.Seeds)]
 		h := hs[(idx/cfg.Seeds)%len(hs)]
 		seed := cfg.BaseSeed + int64(idx%cfg.Seeds)
-		in := instance.Generate(instance.Config{NumOps: n, Alpha: 1.1}, seed)
-		res, err := heuristics.Solve(in, h, heuristics.Options{Seed: seed})
+		in := c.gen.Generate(instance.Config{NumOps: n, Alpha: 1.1}, seed)
+		res, err := c.sc.Solve(in, h, heuristics.Options{Seed: seed})
 		if err != nil {
 			return
 		}
-		rep, err := stream.Simulate(res.Mapping, stream.Options{Results: 80})
+		rep, err := c.runner.Simulate(res.Mapping, stream.Options{Results: 80})
 		cells[idx] = cell{feasible: true, simErr: err != nil, rep: rep, rho: in.Rho}
 	})
 	for ni, n := range ns {

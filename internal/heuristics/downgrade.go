@@ -14,7 +14,10 @@ import (
 // configuration anyway.
 func Downgrade(m *mapping.Mapping) error {
 	cat := m.Inst.Platform.Catalog
-	for _, p := range m.AliveProcs() {
+	for p := range m.Procs {
+		if !m.Procs[p].Alive {
+			continue
+		}
 		cfg, ok := cat.CheapestFitting(m.ComputeLoad(p), m.NICLoad(p))
 		if !ok {
 			// Cannot happen for a feasible mapping: the current

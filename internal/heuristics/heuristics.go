@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/apptree"
 	"repro/internal/instance"
@@ -90,9 +91,33 @@ type Result struct {
 	Procs     int // number of purchased processors
 }
 
+// SolveContext owns the reusable scratch threaded through repeated Solve
+// calls — today the server-selection Selector; tomorrow any other
+// per-solve state worth recycling. A SolveContext is not safe for
+// concurrent use: sweep engines hold one per worker.
+type SolveContext struct {
+	sel Selector
+}
+
+// NewSolveContext returns an empty reusable solve context.
+func NewSolveContext() *SolveContext { return &SolveContext{} }
+
+// solveCtxPool backs the package-level Solve so one-shot callers reuse
+// scratch across calls too (the same trick stream.Simulate plays with
+// its pooled runners).
+var solveCtxPool = sync.Pool{New: func() any { return NewSolveContext() }}
+
 // Solve runs placement, server selection and downgrade for one heuristic
-// and validates the outcome.
+// and validates the outcome, borrowing a pooled SolveContext.
 func Solve(in *instance.Instance, h Heuristic, opts Options) (*Result, error) {
+	c := solveCtxPool.Get().(*SolveContext)
+	res, err := c.Solve(in, h, opts)
+	solveCtxPool.Put(c)
+	return res, err
+}
+
+// Solve runs the full pipeline on the context's reusable scratch.
+func (c *SolveContext) Solve(in *instance.Instance, h Heuristic, opts Options) (*Result, error) {
 	if err := Precheck(in); err != nil {
 		return nil, err
 	}
@@ -113,10 +138,11 @@ func Solve(in *instance.Instance, h Heuristic, opts Options) (*Result, error) {
 	}
 	switch selection {
 	case SelectRandom:
-		err = SelectServersRandom(m, rng.Derive(opts.Seed, "selection:"+h.Name()))
+		err = c.sel.Random(m, rng.Derive(opts.Seed, "selection:"+h.Name()))
 	default:
-		err = SelectServersThreeLoop(m)
+		err = c.sel.ThreeLoop(m)
 	}
+	c.sel.release()
 	if err != nil {
 		return nil, fmt.Errorf("%s server selection: %w", h.Name(), err)
 	}
@@ -133,7 +159,7 @@ func Solve(in *instance.Instance, h Heuristic, opts Options) (*Result, error) {
 		Heuristic: h.Name(),
 		Mapping:   m,
 		Cost:      m.Cost(),
-		Procs:     len(m.AliveProcs()),
+		Procs:     m.NumAlive(),
 	}, nil
 }
 
@@ -177,8 +203,8 @@ func Precheck(in *instance.Instance) error {
 
 // sellEmpty returns processors that ended up with no operators.
 func sellEmpty(m *mapping.Mapping) {
-	for _, p := range m.AliveProcs() {
-		if m.NumOpsOn(p) == 0 {
+	for p := range m.Procs {
+		if m.Procs[p].Alive && m.NumOpsOn(p) == 0 {
 			m.Sell(p)
 		}
 	}

@@ -27,7 +27,8 @@ func (ObjectGrouping) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mappi
 	alOrder := in.Tree.ALOperators()
 	popSum := func(op int) int {
 		s := 0
-		for _, k := range in.Tree.LeafObjects(op) {
+		var buf [2]int
+		for _, k := range in.Tree.LeafObjectsBuf(op, &buf) {
 			s += pop[k]
 		}
 		return s
@@ -56,10 +57,8 @@ func (ObjectGrouping) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mappi
 		if err := placeWithGrouping(m, p, seed); err != nil {
 			return nil, fmt.Errorf("al-operator %d: %w", seed, err)
 		}
-		seedObjs := map[int]bool{}
-		for _, k := range in.Tree.LeafObjects(seed) {
-			seedObjs[k] = true
-		}
+		var seedBuf, opBuf [2]int
+		seedObjs := in.Tree.LeafObjectsBuf(seed, &seedBuf)
 		// Other al-operators requiring the same basic objects, by
 		// non-increasing popularity.
 		for _, op := range alOrder {
@@ -67,9 +66,11 @@ func (ObjectGrouping) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mappi
 				continue
 			}
 			shares := false
-			for _, k := range in.Tree.LeafObjects(op) {
-				if seedObjs[k] {
-					shares = true
+			for _, k := range in.Tree.LeafObjectsBuf(op, &opBuf) {
+				for _, sk := range seedObjs {
+					if sk == k {
+						shares = true
+					}
 				}
 			}
 			if shares {
@@ -134,7 +135,8 @@ func (ObjectAvailability) Place(in *instance.Instance, _ *rand.Rand) (*mapping.M
 	})
 
 	needsObj := func(op, k int) bool {
-		for _, x := range in.Tree.LeafObjects(op) {
+		var buf [2]int
+		for _, x := range in.Tree.LeafObjectsBuf(op, &buf) {
 			if x == k {
 				return true
 			}
@@ -142,11 +144,12 @@ func (ObjectAvailability) Place(in *instance.Instance, _ *rand.Rand) (*mapping.M
 		return false
 	}
 
+	alOps := in.Tree.ALOperators()
 	for _, k := range objs {
 		for {
 			// Collect still-unassigned al-operators that download k.
 			var pending []int
-			for _, op := range in.Tree.ALOperators() {
+			for _, op := range alOps {
 				if m.OpProc(op) == mapping.Unassigned && needsObj(op, k) {
 					pending = append(pending, op)
 				}

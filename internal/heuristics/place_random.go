@@ -24,14 +24,15 @@ func (Random) Place(in *instance.Instance, r *rand.Rand) (*mapping.Mapping, erro
 	m := mapping.New(in)
 	configs := configsByCost(in.Platform.Catalog)
 
+	var rest []int // reused across rounds; refilled before each draw
 	unassigned := func() []int {
-		var out []int
+		rest = rest[:0]
 		for op := range in.Tree.Ops {
 			if m.OpProc(op) == mapping.Unassigned {
-				out = append(out, op)
+				rest = append(rest, op)
 			}
 		}
-		return out
+		return rest
 	}
 
 	buyCheapestFor := func(ops ...int) bool {
@@ -39,11 +40,11 @@ func (Random) Place(in *instance.Instance, r *rand.Rand) (*mapping.Mapping, erro
 	}
 
 	for {
-		rest := unassigned()
-		if len(rest) == 0 {
+		pending := unassigned()
+		if len(pending) == 0 {
 			return m, nil
 		}
-		op := rest[r.Intn(len(rest))]
+		op := pending[r.Intn(len(pending))]
 		if buyCheapestFor(op) {
 			continue
 		}

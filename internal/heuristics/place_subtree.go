@@ -3,7 +3,6 @@ package heuristics
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 
 	"repro/internal/instance"
 	"repro/internal/mapping"
@@ -57,15 +56,17 @@ func (h SubtreeBottomUp) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Ma
 			}
 			continue
 		}
-		children := append([]int(nil), in.Tree.Ops[op].ChildOps...)
-		// Prefer the child with the largest edge traffic.
-		sort.Slice(children, func(a, b int) bool {
-			ta, tb := in.EdgeTraffic(children[a]), in.EdgeTraffic(children[b])
-			if ta != tb {
-				return ta > tb
+		// Prefer the child with the largest edge traffic. A binary tree
+		// has at most two operator children, so a fixed buffer and one
+		// conditional swap replace the allocating sort.
+		var cbuf [2]int
+		children := append(cbuf[:0], in.Tree.Ops[op].ChildOps...)
+		if len(children) == 2 {
+			ta, tb := in.EdgeTraffic(children[0]), in.EdgeTraffic(children[1])
+			if tb > ta || (tb == ta && children[1] < children[0]) {
+				children[0], children[1] = children[1], children[0]
 			}
-			return children[a] < children[b]
-		})
+		}
 		placed := false
 		for _, c := range children {
 			p := m.OpProc(c)

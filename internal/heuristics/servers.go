@@ -3,75 +3,187 @@ package heuristics
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"sync"
 
 	"repro/internal/mapping"
+	"repro/internal/xslice"
 )
 
-// selectionState tracks residual capacities while assigning downloads.
-type selectionState struct {
-	m          *mapping.Mapping
-	serverLeft []float64          // residual NIC bandwidth per server
-	linkLeft   map[[2]int]float64 // residual bandwidth per (server, proc) link
-	pending    map[[2]int]bool    // outstanding (proc, object) downloads
+// Selector runs the server-selection step on flat, index-based scratch
+// that is reused across solves: dense per-server NIC residuals, an
+// epoch-stamped sparse array of per-(server, processor) link residuals,
+// and per-object pending-download lists maintained incrementally instead
+// of being rebuilt from maps every loop iteration (the pre-refactor
+// selectionState rebuilt and re-sorted a map per loop-3 iteration and per
+// loop-2 server, which dominated the solve allocation profile). After the
+// first call every ThreeLoop/Random run is allocation-free.
+//
+// A Selector is not safe for concurrent use; SolveContext owns one per
+// solving goroutine and the package-level SelectServers* helpers borrow
+// one from an internal pool.
+//
+// Capacity admission is governed by the single admissionEps constant
+// below, chosen so selection can never commit a download that mapping's
+// Eps-tolerant verification rejects (see TestCapacityEpsBoundary).
+type Selector struct {
+	m      *mapping.Mapping
+	nProcs int
+	nSrv   int
+	epoch  uint32
+
+	serverLeft []float64 // residual NIC bandwidth per server
+	linkLeft   []float64 // residual (server, proc) link bandwidth, flat l*nProcs+p
+	linkSeen   []uint32  // epoch stamp: linkLeft entry valid this run
+	need       []uint32  // epoch stamp per (object, proc): download outstanding at reset
+	pendingOf  [][]int   // per object: procs still needing it, ascending
+	npending   int       // total outstanding downloads
+
+	procBuf   []int    // snapshot of one object's pending procs
+	holdBuf   []int    // holder candidates, sorted (three-loop) or shuffled (random)
+	typeCnt   []int    // loop-2 scratch: distinct object types per server
+	typeOf    []int    // loop-2 scratch: smallest object type per server
+	dlCount   []int    // reset scratch: downloads per processor, for DL pre-sizing
+	downloads [][2]int // random-selection scratch: the (proc, object) work list
 }
 
-func newSelectionState(m *mapping.Mapping) *selectionState {
+// reset rebinds the selector to m and rebuilds the residual and pending
+// state from the mapping's current placement. One pass over the operator
+// assignment stamps every outstanding (object, proc) download; a second
+// pass over the (object, proc) grid gathers the per-object pending lists
+// already sorted by processor.
+func (st *Selector) reset(m *mapping.Mapping) {
 	in := m.Inst
-	st := &selectionState{
-		m:          m,
-		serverLeft: make([]float64, len(in.Platform.Servers)),
-		linkLeft:   map[[2]int]float64{},
-		pending:    map[[2]int]bool{},
+	st.m = m
+	st.nProcs = len(m.Procs)
+	st.nSrv = len(in.Platform.Servers)
+	st.epoch++
+	if st.epoch == 0 { // stamp wrap-around: invalidate every recycled stamp,
+		// including capacity beyond the current length that a later Grow
+		// could re-expose.
+		clear(st.linkSeen[:cap(st.linkSeen)])
+		clear(st.need[:cap(st.need)])
+		st.epoch = 1
 	}
-	for l := range in.Platform.Servers {
+
+	st.serverLeft = xslice.Grow(st.serverLeft, st.nSrv)
+	for l := range st.serverLeft {
 		st.serverLeft[l] = in.Platform.Servers[l].NICMBps
 	}
-	for _, p := range m.AliveProcs() {
-		for _, k := range m.NeededObjects(p) {
-			st.pending[[2]int{p, k}] = true
+	st.linkLeft = xslice.Grow(st.linkLeft, st.nSrv*st.nProcs)
+	st.linkSeen = xslice.Grow(st.linkSeen, st.nSrv*st.nProcs)
+	st.need = xslice.Grow(st.need, in.NumTypes*st.nProcs)
+
+	tree := in.Tree
+	for op, p := range m.Assign {
+		if p == mapping.Unassigned {
+			continue
+		}
+		for _, li := range tree.Ops[op].Leaves {
+			st.need[tree.Leaves[li].Object*st.nProcs+p] = st.epoch
 		}
 	}
-	return st
+	st.pendingOf = xslice.Grow(st.pendingOf, in.NumTypes)
+	st.dlCount = xslice.Grow(st.dlCount, st.nProcs)
+	for p := range st.dlCount {
+		st.dlCount[p] = 0
+	}
+	st.npending = 0
+	for k := 0; k < in.NumTypes; k++ {
+		lst := st.pendingOf[k][:0]
+		base := k * st.nProcs
+		for p := 0; p < st.nProcs; p++ {
+			if st.need[base+p] == st.epoch {
+				lst = append(lst, p)
+				st.dlCount[p]++
+			}
+		}
+		st.pendingOf[k] = lst
+		st.npending += len(lst)
+	}
+	for p, n := range st.dlCount {
+		m.PresizeDL(p, n)
+	}
 }
 
-func (st *selectionState) linkResidual(l, p int) float64 {
-	key := [2]int{l, p}
-	if v, ok := st.linkLeft[key]; ok {
-		return v
+// linkResidual returns the remaining bandwidth on the (server l, proc p)
+// link without materializing untouched links.
+func (st *Selector) linkResidual(l, p int) float64 {
+	i := l*st.nProcs + p
+	if st.linkSeen[i] == st.epoch {
+		return st.linkLeft[i]
 	}
 	return st.m.Inst.Platform.ServerLinkMBps
 }
 
-// assign commits download (p,k) to server l if capacities allow.
-func (st *selectionState) assign(p, k, l int) bool {
+// admissionEps is the tolerance selection adds to a residual capacity
+// when admitting a download: zero, deliberately stricter than
+// verification's mapping.Eps. Validate recomputes every load as a fresh
+// sum whose rounding can differ from the selector's incremental
+// residuals by a few ULPs, so the invariant "an admitted download is
+// never rejected by verification" holds exactly when the admission
+// tolerance plus that drift stays within mapping.Eps — which zero
+// guarantees and any positive tolerance does not: the historical code
+// admitted with a hardcoded 1e-9 in three places (assign twice,
+// usableHolders), letting accumulated downloads overshoot a server NIC
+// by up to ~Eps and verification reject the mapping at the boundary.
+// Exact fits (residual == rate) are still admitted.
+const admissionEps = 0
+
+// assign commits download (p,k) to server l if capacities allow, with
+// admissionEps headroom against mapping's verification.
+func (st *Selector) assign(p, k, l int) bool {
 	rate := st.m.Inst.Rate(k)
-	if st.serverLeft[l] < rate-1e-9 || st.linkResidual(l, p) < rate-1e-9 {
+	if rate > st.serverLeft[l]+admissionEps || rate > st.linkResidual(l, p)+admissionEps {
 		return false
 	}
 	st.serverLeft[l] -= rate
-	st.linkLeft[[2]int{l, p}] = st.linkResidual(l, p) - rate
+	i := l*st.nProcs + p
+	st.linkLeft[i] = st.linkResidual(l, p) - rate
+	st.linkSeen[i] = st.epoch
 	st.m.SelectServer(p, k, l)
-	delete(st.pending, [2]int{p, k})
+	st.removePending(p, k)
 	return true
 }
 
-// pendingByObject returns, per object type, the processors still needing
-// it (both sorted for determinism).
-func (st *selectionState) pendingByObject() (objs []int, procsOf map[int][]int) {
-	procsOf = map[int][]int{}
-	for pk := range st.pending {
-		procsOf[pk[1]] = append(procsOf[pk[1]], pk[0])
+// removePending drops p from object k's pending list, keeping it sorted.
+func (st *Selector) removePending(p, k int) {
+	lst := st.pendingOf[k]
+	for i, q := range lst {
+		if q == p {
+			st.pendingOf[k] = append(lst[:i], lst[i+1:]...)
+			st.npending--
+			return
+		}
 	}
-	for k := range procsOf {
-		sort.Ints(procsOf[k])
-		objs = append(objs, k)
-	}
-	sort.Ints(objs)
-	return objs, procsOf
 }
 
-// SelectServersThreeLoop runs the paper's three-loop server selection:
+// snapshotPending copies object k's current pending processors into the
+// shared scratch buffer, so callers can iterate while assign mutates the
+// live list.
+func (st *Selector) snapshotPending(k int) []int {
+	st.procBuf = append(st.procBuf[:0], st.pendingOf[k]...)
+	return st.procBuf
+}
+
+// usableHolders counts the servers from which object k can still be
+// downloaded (residual NIC admits at least one more download of k).
+func (st *Selector) usableHolders(k int) int {
+	rate := st.m.Inst.Rate(k)
+	n := 0
+	for _, l := range st.m.Inst.Holders[k] {
+		if rate <= st.serverLeft[l]+admissionEps {
+			n++
+		}
+	}
+	return n
+}
+
+// objRank is loop 3's priority for object k: decreasing nbP/nbS.
+func (st *Selector) objRank(k int) float64 {
+	return ratio(len(st.pendingOf[k]), st.usableHolders(k))
+}
+
+// ThreeLoop runs the paper's three-loop server selection on m:
 //
 //  1. downloads of objects held by exactly one server are pinned to that
 //     server (failure here is fatal — there is no alternative),
@@ -79,18 +191,21 @@ func (st *selectionState) pendingByObject() (objs []int, procsOf map[int][]int) 
 //  3. the rest are assigned object-by-object in decreasing nbP/nbS order,
 //     each download going to the holder with the largest
 //     min(residual server NIC, residual link bandwidth).
-func SelectServersThreeLoop(m *mapping.Mapping) error {
+//
+// Both priority orders are total (ties break on index), so the max-scan
+// and insertion sort below reproduce the original sort.Slice results
+// exactly without its closure allocations.
+func (st *Selector) ThreeLoop(m *mapping.Mapping) error {
 	in := m.Inst
-	st := newSelectionState(m)
+	st.reset(m)
 
 	// Loop 1: single-holder objects have no freedom.
-	objs, procsOf := st.pendingByObject()
-	for _, k := range objs {
-		if in.Availability(k) != 1 {
+	for k := 0; k < in.NumTypes; k++ {
+		if len(st.pendingOf[k]) == 0 || in.Availability(k) != 1 {
 			continue
 		}
 		l := in.Holders[k][0]
-		for _, p := range procsOf[k] {
+		for _, p := range st.snapshotPending(k) {
 			if !st.assign(p, k, l) {
 				return fmt.Errorf("object %d only on server %d which lacks capacity: %w", k, l, ErrInfeasible)
 			}
@@ -99,49 +214,60 @@ func SelectServersThreeLoop(m *mapping.Mapping) error {
 
 	// Loop 2: servers that provide only one object type absorb as many of
 	// that object's downloads as possible.
-	typesOn := make(map[int][]int) // server -> object types it holds
+	st.typeCnt = xslice.Grow(st.typeCnt, st.nSrv)
+	st.typeOf = xslice.Grow(st.typeOf, st.nSrv)
+	for l := range st.typeCnt {
+		st.typeCnt[l] = 0
+	}
 	for k := range in.Holders {
 		for _, l := range in.Holders[k] {
-			typesOn[l] = append(typesOn[l], k)
+			if st.typeCnt[l] == 0 {
+				st.typeOf[l] = k
+			}
+			st.typeCnt[l]++
 		}
 	}
-	var singleTypeServers []int
-	for l, ks := range typesOn {
-		if len(ks) == 1 {
-			singleTypeServers = append(singleTypeServers, l)
+	for l := 0; l < st.nSrv; l++ {
+		if st.typeCnt[l] != 1 {
+			continue
 		}
-	}
-	sort.Ints(singleTypeServers)
-	for _, l := range singleTypeServers {
-		k := typesOn[l][0]
-		_, procsOf := st.pendingByObject()
-		for _, p := range procsOf[k] {
+		k := st.typeOf[l]
+		for _, p := range st.snapshotPending(k) {
 			st.assign(p, k, l) // best effort
 		}
 	}
 
-	// Loop 3: remaining downloads, objects in decreasing nbP/nbS.
-	for len(st.pending) > 0 {
-		objs, procsOf := st.pendingByObject()
-		sort.Slice(objs, func(a, b int) bool {
-			ra := ratio(len(procsOf[objs[a]]), st.usableHolders(objs[a]))
-			rb := ratio(len(procsOf[objs[b]]), st.usableHolders(objs[b]))
-			if ra != rb {
-				return ra > rb
+	// Loop 3: remaining downloads, objects in decreasing nbP/nbS. Only
+	// the top-priority object is consumed per round and the priority
+	// order is total (ties: smaller object first), so an ascending
+	// max-scan replaces the historical full sort with byte-identical
+	// selections.
+	for st.npending > 0 {
+		k, rank := -1, 0.0
+		for c := 0; c < in.NumTypes; c++ {
+			if len(st.pendingOf[c]) == 0 {
+				continue
 			}
-			return objs[a] < objs[b]
-		})
-		k := objs[0]
-		for _, p := range procsOf[k] {
-			holders := append([]int(nil), in.Holders[k]...)
-			sort.Slice(holders, func(a, b int) bool {
-				ca := minf(st.serverLeft[holders[a]], st.linkResidual(holders[a], p))
-				cb := minf(st.serverLeft[holders[b]], st.linkResidual(holders[b], p))
-				if ca != cb {
-					return ca > cb
+			if r := st.objRank(c); k < 0 || r > rank {
+				k, rank = c, r
+			}
+		}
+		for _, p := range st.snapshotPending(k) {
+			holders := append(st.holdBuf[:0], in.Holders[k]...)
+			st.holdBuf = holders
+			for i := 1; i < len(holders); i++ {
+				l := holders[i]
+				cl := minf(st.serverLeft[l], st.linkResidual(l, p))
+				j := i
+				for ; j > 0; j-- {
+					cj := minf(st.serverLeft[holders[j-1]], st.linkResidual(holders[j-1], p))
+					if cj > cl || (cj == cl && holders[j-1] < l) {
+						break
+					}
+					holders[j] = holders[j-1]
 				}
-				return holders[a] < holders[b]
-			})
+				holders[j] = l
+			}
 			done := false
 			for _, l := range holders {
 				if st.assign(p, k, l) {
@@ -157,17 +283,70 @@ func SelectServersThreeLoop(m *mapping.Mapping) error {
 	return nil
 }
 
-// usableHolders counts the servers from which object k can still be
-// downloaded (residual NIC at least one more download of k).
-func (st *selectionState) usableHolders(k int) int {
-	rate := st.m.Inst.Rate(k)
-	n := 0
-	for _, l := range st.m.Inst.Holders[k] {
-		if st.serverLeft[l] >= rate-1e-9 {
-			n++
+// Random associates a random holder with every download, retrying the
+// other holders when capacities are exceeded (the paper pairs this with
+// the Random placement heuristic). The work list is gathered in (proc,
+// object) order before shuffling, so the consumed random stream — and
+// hence every chosen server — is identical to the historical map-and-sort
+// implementation.
+func (st *Selector) Random(m *mapping.Mapping, r *rand.Rand) error {
+	st.reset(m)
+	in := m.Inst
+	downloads := st.downloads[:0]
+	for p := 0; p < st.nProcs; p++ {
+		for k := 0; k < in.NumTypes; k++ {
+			if st.need[k*st.nProcs+p] == st.epoch {
+				downloads = append(downloads, [2]int{p, k})
+			}
 		}
 	}
-	return n
+	st.downloads = downloads
+	r.Shuffle(len(downloads), func(i, j int) { downloads[i], downloads[j] = downloads[j], downloads[i] })
+	for _, pk := range downloads {
+		p, k := pk[0], pk[1]
+		holders := append(st.holdBuf[:0], in.Holders[k]...)
+		st.holdBuf = holders
+		r.Shuffle(len(holders), func(i, j int) { holders[i], holders[j] = holders[j], holders[i] })
+		done := false
+		for _, l := range holders {
+			if st.assign(p, k, l) {
+				done = true
+				break
+			}
+		}
+		if !done {
+			return fmt.Errorf("no server has capacity for object %d to processor %d: %w", k, p, ErrInfeasible)
+		}
+	}
+	return nil
+}
+
+// release drops the mapping reference so pooled selectors do not pin
+// solved instances in memory.
+func (st *Selector) release() { st.m = nil }
+
+// selectorPool backs the package-level SelectServers* helpers so
+// standalone calls reuse scratch too.
+var selectorPool = sync.Pool{New: func() any { return new(Selector) }}
+
+// SelectServersThreeLoop runs the paper's three-loop server selection on
+// a pooled Selector. Callers running many solves hold a SolveContext (or
+// their own Selector) instead.
+func SelectServersThreeLoop(m *mapping.Mapping) error {
+	st := selectorPool.Get().(*Selector)
+	err := st.ThreeLoop(m)
+	st.release()
+	selectorPool.Put(st)
+	return err
+}
+
+// SelectServersRandom is the pooled-selector form of (*Selector).Random.
+func SelectServersRandom(m *mapping.Mapping, r *rand.Rand) error {
+	st := selectorPool.Get().(*Selector)
+	err := st.Random(m, r)
+	st.release()
+	selectorPool.Put(st)
+	return err
 }
 
 func ratio(a, b int) float64 {
@@ -182,38 +361,4 @@ func minf(a, b float64) float64 {
 		return a
 	}
 	return b
-}
-
-// SelectServersRandom associates a random holder with every download,
-// retrying the other holders when capacities are exceeded (the paper pairs
-// this with the Random placement heuristic).
-func SelectServersRandom(m *mapping.Mapping, r *rand.Rand) error {
-	st := newSelectionState(m)
-	var downloads [][2]int
-	for pk := range st.pending {
-		downloads = append(downloads, pk)
-	}
-	sort.Slice(downloads, func(a, b int) bool {
-		if downloads[a][0] != downloads[b][0] {
-			return downloads[a][0] < downloads[b][0]
-		}
-		return downloads[a][1] < downloads[b][1]
-	})
-	r.Shuffle(len(downloads), func(i, j int) { downloads[i], downloads[j] = downloads[j], downloads[i] })
-	for _, pk := range downloads {
-		p, k := pk[0], pk[1]
-		holders := append([]int(nil), m.Inst.Holders[k]...)
-		r.Shuffle(len(holders), func(i, j int) { holders[i], holders[j] = holders[j], holders[i] })
-		done := false
-		for _, l := range holders {
-			if st.assign(p, k, l) {
-				done = true
-				break
-			}
-		}
-		if !done {
-			return fmt.Errorf("no server has capacity for object %d to processor %d: %w", k, p, ErrInfeasible)
-		}
-	}
-	return nil
 }

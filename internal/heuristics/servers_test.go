@@ -2,6 +2,8 @@ package heuristics
 
 import (
 	"errors"
+	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/apptree"
@@ -182,5 +184,234 @@ func TestLinkCapacityForcesSplit(t *testing.T) {
 	}
 	if err := m2.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// placedMapping runs the placement half of the Solve pipeline, returning
+// nil when the instance is infeasible for the heuristic.
+func placedMapping(in *instance.Instance, h Heuristic, seed int64) *mapping.Mapping {
+	if Precheck(in) != nil {
+		return nil
+	}
+	m, err := h.Place(in, rng.Derive(seed, "heuristic:"+h.Name()))
+	if err != nil || !m.Complete() {
+		return nil
+	}
+	sellEmpty(m)
+	return m
+}
+
+// checkServerCapacities asserts property (a) of the selector: committed
+// downloads never exceed a server NIC or a server-processor link beyond
+// the verification tolerance.
+func checkServerCapacities(t *testing.T, m *mapping.Mapping) {
+	t.Helper()
+	in := m.Inst
+	for l := range in.Platform.Servers {
+		if load, cap := m.ServerLoad(l), in.Platform.Servers[l].NICMBps; load > cap+mapping.Eps {
+			t.Fatalf("server %d NIC overshoot: %.12f > %.12f", l, load, cap)
+		}
+		for p := range m.Procs {
+			if !m.Procs[p].Alive {
+				continue
+			}
+			if load := m.ServerLinkLoad(l, p); load > in.Platform.ServerLinkMBps+mapping.Eps {
+				t.Fatalf("link %d->%d overshoot: %.12f", l, p, load)
+			}
+		}
+	}
+}
+
+// TestThreeLoopMatchesReference proves the flat-scratch selector (b)
+// chooses byte-identical servers to the historical map-based
+// implementation across the canonical corpus grid, for every placement
+// heuristic, while (a) respecting all server-side capacities.
+func TestThreeLoopMatchesReference(t *testing.T) {
+	sel := &Selector{}
+	for _, n := range []int{20, 60, 140} {
+		for _, alpha := range []float64{0.9, 1.7} {
+			for seed := int64(1); seed <= 3; seed++ {
+				in := instance.Generate(instance.Config{NumOps: n, Alpha: alpha}, seed)
+				for _, h := range All() {
+					m := placedMapping(in, h, seed)
+					if m == nil {
+						continue
+					}
+					ref := m.Clone()
+					errNew := sel.ThreeLoop(m)
+					errRef := refSelectServersThreeLoop(ref)
+					if (errNew == nil) != (errRef == nil) {
+						t.Fatalf("N=%d alpha=%g seed=%d %s: selector err=%v, reference err=%v",
+							n, alpha, seed, h.Name(), errNew, errRef)
+					}
+					if errNew != nil {
+						continue
+					}
+					if !reflect.DeepEqual(m.DL, ref.DL) {
+						t.Fatalf("N=%d alpha=%g seed=%d %s: server choices diverge:\n%v\nvs reference\n%v",
+							n, alpha, seed, h.Name(), m.DL, ref.DL)
+					}
+					checkServerCapacities(t, m)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomSelectionMatchesReference is the same equivalence for the
+// random selection: the selector gathers its work list in the exact
+// (proc, object) order the reference sorted into, so both consume the
+// same random stream and pick the same servers.
+func TestRandomSelectionMatchesReference(t *testing.T) {
+	sel := &Selector{}
+	for seed := int64(1); seed <= 5; seed++ {
+		in := instance.Generate(instance.Config{NumOps: 40, Alpha: 0.9}, seed)
+		m := placedMapping(in, Random{}, seed)
+		if m == nil {
+			continue
+		}
+		ref := m.Clone()
+		errNew := sel.Random(m, rng.Derive(seed, "selection:Random"))
+		errRef := refSelectServersRandom(ref, rng.Derive(seed, "selection:Random"))
+		if (errNew == nil) != (errRef == nil) {
+			t.Fatalf("seed %d: selector err=%v, reference err=%v", seed, errNew, errRef)
+		}
+		if errNew == nil && !reflect.DeepEqual(m.DL, ref.DL) {
+			t.Fatalf("seed %d: server choices diverge", seed)
+		}
+	}
+}
+
+// boundaryInstance builds one processor needing objects with the given
+// download rates, all held by a single server with NIC capacity cap.
+func boundaryInstance(rates []float64, cap float64) *mapping.Mapping {
+	objects := make([]int, len(rates))
+	holders := make([][]int, len(rates))
+	for k := range rates {
+		objects[k] = k
+		holders[k] = []int{0}
+	}
+	p := platform.DefaultPlatform()
+	p.Servers = []platform.Server{{NICMBps: cap}}
+	p.ServerLinkMBps = 1e12 // keep links out of the picture
+	in := &instance.Instance{
+		Tree:     apptree.LeftDeep(objects),
+		NumTypes: len(rates),
+		Sizes:    append([]float64(nil), rates...),
+		Freqs:    make([]float64, len(rates)),
+		Holders:  holders,
+		Platform: p,
+		Rho:      1,
+		Alpha:    1,
+	}
+	for k := range in.Freqs {
+		in.Freqs[k] = 1 // rate_k == Sizes[k]
+	}
+	in.Refresh()
+	return mapAllOnOne(in)
+}
+
+// TestCapacityEpsBoundary is the regression test for the capacity-
+// tolerance unification: at rates exactly on the capacity boundary the
+// selector must never commit a download set that mapping's verification
+// rejects. The historical 1e-9-tolerant admission did exactly that —
+// with the server NIC one Eps short of the total rate it admitted every
+// download (overshooting the NIC), and Validate's fresh re-summation
+// could reject the mapping depending on map iteration order. The
+// selector's zero-tolerance admission refuses instead, and still admits
+// exact fits.
+func TestCapacityEpsBoundary(t *testing.T) {
+	// A rate triple (found by scanning the float lattice) whose
+	// sequential admission chain stays within the historical 1e-9
+	// tolerance while the total overshoots the capacity.
+	rates := []float64{0.003655, 1.1006850000000001, 2.7015000000000002}
+	sum := rates[0] + rates[1] + rates[2]
+
+	// The historical implementation admits the whole set even though the
+	// server NIC is Eps short of it: an overshoot verification is
+	// entitled to reject.
+	ref := boundaryInstance(rates, sum-mapping.Eps)
+	if err := refSelectServersThreeLoop(ref); err != nil {
+		t.Fatalf("reference no longer admits the boundary overshoot: %v", err)
+	}
+	if load, cap := ref.ServerLoad(0), ref.Inst.Platform.Servers[0].NICMBps; load <= cap {
+		t.Fatalf("reference was expected to overshoot the NIC: load %.12f <= cap %.12f", load, cap)
+	}
+
+	// The selector must keep the selection/verification agreement at
+	// every capacity in the boundary's neighbourhood: either refuse with
+	// ErrInfeasible, or produce a mapping Validate accepts.
+	caps := []float64{
+		sum - mapping.Eps,
+		math.Nextafter(sum, 0),
+		sum,
+		math.Nextafter(sum, math.Inf(1)),
+		sum + mapping.Eps,
+		rates[2], // single-download boundaries, via the other objects failing
+	}
+	for _, cap := range caps {
+		m := boundaryInstance(rates, cap)
+		err := SelectServersThreeLoop(m)
+		switch {
+		case err == nil:
+			if verr := m.Validate(); verr != nil {
+				t.Fatalf("cap=%v: selection committed a mapping verification rejects: %v", cap, verr)
+			}
+			checkServerCapacities(t, m)
+		case !errors.Is(err, ErrInfeasible):
+			t.Fatalf("cap=%v: unexpected error %v", cap, err)
+		}
+	}
+
+	// Exact fit: a capacity of exactly the total rate must stay feasible.
+	m := boundaryInstance(rates, sum)
+	if err := SelectServersThreeLoop(m); err != nil {
+		t.Fatalf("exact-fit capacity must be admitted: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One Eps short of the total must now be refused up front (the
+	// admission has zero tolerance), never committed-then-invalid.
+	m = boundaryInstance(rates, sum-mapping.Eps)
+	if err := SelectServersThreeLoop(m); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("under-capacity boundary must be ErrInfeasible, got %v", err)
+	}
+
+	// Same agreement for the random selection.
+	for _, cap := range caps {
+		m := boundaryInstance(rates, cap)
+		err := SelectServersRandom(m, rng.New(7))
+		switch {
+		case err == nil:
+			if verr := m.Validate(); verr != nil {
+				t.Fatalf("random cap=%v: selection committed a mapping verification rejects: %v", cap, verr)
+			}
+		case !errors.Is(err, ErrInfeasible):
+			t.Fatalf("random cap=%v: unexpected error %v", cap, err)
+		}
+	}
+}
+
+// TestSelectorAllocsPinned pins the tentpole: a reused selector runs the
+// three-loop selection without allocating.
+func TestSelectorAllocsPinned(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 60, Alpha: 0.9}, 1)
+	m := placedMapping(in, SubtreeBottomUp{}, 1)
+	if m == nil {
+		t.Fatal("placement failed")
+	}
+	sel := &Selector{}
+	if err := sel.ThreeLoop(m); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := sel.ThreeLoop(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("reused selector allocates %.1f allocs/op, want 0", allocs)
 	}
 }

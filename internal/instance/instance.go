@@ -11,10 +11,12 @@ package instance
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 
 	"repro/internal/apptree"
 	"repro/internal/platform"
 	"repro/internal/rng"
+	"repro/internal/xslice"
 )
 
 // Instance is one solvable problem. W and Delta are derived from the tree,
@@ -159,6 +161,40 @@ func (c Config) PaperDefaults() Config {
 // sizes and server placement come from independent sub-streams, so e.g.
 // changing NumOps does not reshuffle the per-type sizes.
 func Generate(cfg Config, seed int64) *Instance {
+	// A one-shot Generator is discarded afterwards, making the returned
+	// instance the sole owner of its storage.
+	return new(Generator).Generate(cfg, seed)
+}
+
+// Generator builds instances like Generate while reusing every internal
+// buffer across calls: the tree (via an apptree.Builder), the per-type
+// size/frequency/holder tables, the derived W/Delta vectors and the three
+// decorrelated random streams. Steady-state generation is allocation-free.
+//
+// The returned *Instance and everything it references are owned by the
+// Generator and valid only until the next Generate call — sweep workers
+// hold one Generator each and solve-then-discard instances seed by seed.
+// A Generator is not safe for concurrent use.
+type Generator struct {
+	inst                          Instance
+	builder                       apptree.Builder
+	treeRand, sizeRand, placeRand *rand.Rand
+	perm                          []int              // PickDistinctInto scratch
+	defPlat                       *platform.Platform // cached default platform
+}
+
+// Generate builds the (cfg, seed) instance on the generator's reusable
+// storage. The result is field-for-field identical to the package-level
+// Generate's.
+func (g *Generator) Generate(cfg Config, seed int64) *Instance {
+	if cfg.Platform == nil {
+		// Cache the default platform: it is immutable in the sweep paths,
+		// and rebuilding it per seed was the generator's last allocation.
+		if g.defPlat == nil {
+			g.defPlat = platform.DefaultPlatform()
+		}
+		cfg.Platform = g.defPlat
+	}
 	cfg = cfg.PaperDefaults()
 	if cfg.NumOps < 1 {
 		panic("instance: Config.NumOps must be >= 1")
@@ -171,32 +207,35 @@ func Generate(cfg Config, seed int64) *Instance {
 		cfg.MaxHolders = numServers
 	}
 
-	treeRand := rng.Derive(seed, "tree")
-	sizeRand := rng.Derive(seed, "sizes")
-	placeRand := rng.Derive(seed, "placement")
-
-	in := &Instance{
-		Tree:     apptree.Random(treeRand, cfg.NumOps, cfg.NumTypes),
-		NumTypes: cfg.NumTypes,
-		Sizes:    make([]float64, cfg.NumTypes),
-		Freqs:    make([]float64, cfg.NumTypes),
-		Holders:  make([][]int, cfg.NumTypes),
-		Platform: cfg.Platform,
-		Rho:      cfg.Rho,
-		Alpha:    cfg.Alpha,
+	if g.treeRand == nil {
+		g.treeRand, g.sizeRand, g.placeRand = rng.New(0), rng.New(0), rng.New(0)
 	}
+	rng.Reseed(g.treeRand, seed, "tree")
+	rng.Reseed(g.sizeRand, seed, "sizes")
+	rng.Reseed(g.placeRand, seed, "placement")
+
+	in := &g.inst
+	in.Tree = g.builder.Random(g.treeRand, cfg.NumOps, cfg.NumTypes)
+	in.NumTypes = cfg.NumTypes
+	in.Sizes = xslice.Grow(in.Sizes, cfg.NumTypes)
+	in.Freqs = xslice.Grow(in.Freqs, cfg.NumTypes)
+	in.Holders = xslice.Grow(in.Holders, cfg.NumTypes)
+	in.Platform = cfg.Platform
+	in.Rho = cfg.Rho
+	in.Alpha = cfg.Alpha
+	g.perm = xslice.Grow(g.perm, numServers)
 	for k := 0; k < cfg.NumTypes; k++ {
-		in.Sizes[k] = rng.UniformIn(sizeRand, cfg.SizeMin, cfg.SizeMax)
+		in.Sizes[k] = rng.UniformIn(g.sizeRand, cfg.SizeMin, cfg.SizeMax)
 		in.Freqs[k] = cfg.Freq
 		n := cfg.MinHolders
 		if cfg.MaxHolders > cfg.MinHolders {
-			n += placeRand.Intn(cfg.MaxHolders - cfg.MinHolders + 1)
+			n += g.placeRand.Intn(cfg.MaxHolders - cfg.MinHolders + 1)
 		}
-		h := rng.PickDistinct(placeRand, numServers, n)
+		h := rng.PickDistinctInto(g.placeRand, numServers, n, in.Holders[k][:0], g.perm)
 		sortInts(h)
 		in.Holders[k] = h
 	}
-	in.Refresh()
+	in.W, in.Delta = in.Tree.DeriveInto(in.Sizes, in.Alpha, in.W, in.Delta)
 	return in
 }
 

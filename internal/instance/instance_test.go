@@ -3,6 +3,7 @@ package instance
 import (
 	"encoding/json"
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -201,5 +202,44 @@ func TestHolderClamping(t *testing.T) {
 		if len(in.Holders[k]) != 6 {
 			t.Fatalf("object %d held by %d servers, want all 6", k, len(in.Holders[k]))
 		}
+	}
+}
+
+func TestGeneratorMatchesGenerate(t *testing.T) {
+	// A reused Generator must produce instances identical to the one-shot
+	// Generate, across varying configs and seeds (the reuse must never
+	// leak one instance's state into the next).
+	var g Generator
+	cfgs := []Config{
+		{NumOps: 40, Alpha: 0.9},
+		{NumOps: 7, Alpha: 1.7},
+		{NumOps: 60, Alpha: 1.1, SizeMin: 450, SizeMax: 530},
+		{NumOps: 20, Alpha: 0.9, Freq: 1.0 / 20},
+	}
+	for _, cfg := range cfgs {
+		for seed := int64(1); seed <= 4; seed++ {
+			want := Generate(cfg, seed)
+			got := g.Generate(cfg, seed)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("cfg %+v seed %d: generator instance differs", cfg, seed)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("cfg %+v seed %d: %v", cfg, seed, err)
+			}
+		}
+	}
+}
+
+func TestGeneratorAllocFree(t *testing.T) {
+	var g Generator
+	cfg := Config{NumOps: 60, Alpha: 0.9}
+	g.Generate(cfg, 1) // warm every buffer
+	seed := int64(0)
+	allocs := testing.AllocsPerRun(20, func() {
+		seed++
+		g.Generate(cfg, seed)
+	})
+	if allocs > 0 {
+		t.Fatalf("warmed generator allocates %.1f allocs/op, want 0", allocs)
 	}
 }

@@ -184,8 +184,10 @@ func (m *Mapping) Complete() bool {
 // fixed and free in the constructive model).
 func (m *Mapping) Cost() float64 {
 	total := 0.0
-	for _, p := range m.AliveProcs() {
-		total += m.Inst.Platform.Catalog.Cost(m.Procs[p].Config)
+	for p := range m.Procs {
+		if m.Procs[p].Alive {
+			total += m.Inst.Platform.Catalog.Cost(m.Procs[p].Config)
+		}
 	}
 	return total
 }
@@ -383,8 +385,8 @@ func (m *Mapping) ProcFeasible(p int) error {
 	if load, cap := m.NICLoad(p), cat.BandwidthMBps(m.Procs[p].Config); load > cap+eps {
 		return fmt.Errorf("mapping: processor %d NIC overload %.3f > %.3f MB/s", p, load, cap)
 	}
-	for _, q := range m.AliveProcs() {
-		if q == p {
+	for q := range m.Procs {
+		if q == p || !m.Procs[q].Alive {
 			continue
 		}
 		if tr := m.LinkTraffic(p, q); tr > m.Inst.Platform.ProcLinkMBps+eps {
@@ -394,8 +396,17 @@ func (m *Mapping) ProcFeasible(p int) error {
 	return nil
 }
 
-// eps absorbs float rounding in constraint comparisons.
-const eps = 1e-9
+// Eps absorbs float rounding in constraint comparisons: a load may exceed
+// a capacity by at most Eps before the constraint counts as violated.
+// Every capacity comparison in the repository — the five Validate
+// constraints here and the admission checks of the server-selection step
+// in package heuristics — uses this one constant with this one direction
+// (load > cap+Eps fails), so construction and verification can never
+// disagree about feasibility at the boundary.
+const Eps = 1e-9
+
+// eps is the internal alias predating the export.
+const eps = Eps
 
 // TryPlace tentatively places ops on p; if any of constraints (1), (2),
 // (5) would be violated for p or for a processor hosting a neighbour of
@@ -476,6 +487,26 @@ func (m *Mapping) SelectServer(p, k, l int) {
 	m.DL[p][k] = l
 }
 
+// PresizeDL pre-sizes processor p's download table for n entries. The
+// server-selection step knows every processor's download count up front
+// and calls this so the SelectServer writes that follow never rehash.
+func (m *Mapping) PresizeDL(p, n int) {
+	if m.DL[p] == nil && n > 0 {
+		m.DL[p] = make(map[int]int, n)
+	}
+}
+
+// NumAlive returns the number of processors not yet sold.
+func (m *Mapping) NumAlive() int {
+	n := 0
+	for p := range m.Procs {
+		if m.Procs[p].Alive {
+			n++
+		}
+	}
+	return n
+}
+
 // ServerLoad returns the total download bandwidth (MB/s) demanded of
 // server l across all processors; constraint (3) bounds it by Bs_l.
 func (m *Mapping) ServerLoad(l int) float64 {
@@ -521,28 +552,50 @@ func (m *Mapping) Validate() error {
 			return fmt.Errorf("mapping: operator %d on invalid processor %d", op, p)
 		}
 	}
-	for _, p := range m.AliveProcs() {
-		needed := m.NeededObjects(p)
-		if len(needed) != len(m.DL[p]) {
-			return fmt.Errorf("mapping: processor %d needs %d objects but has %d downloads", p, len(needed), len(m.DL[p]))
+	s := m.scratchFor()
+	for p := range m.Procs {
+		if !m.Procs[p].Alive {
+			continue
 		}
-		for _, k := range needed {
+		needed := 0
+		m.markNeeded(p, s.objSeen)
+		for _, seen := range s.objSeen {
+			if seen {
+				needed++
+			}
+		}
+		var verr error
+		if needed != len(m.DL[p]) {
+			verr = fmt.Errorf("mapping: processor %d needs %d objects but has %d downloads", p, needed, len(m.DL[p]))
+		}
+		for k, seen := range s.objSeen {
+			if !seen {
+				continue
+			}
+			s.objSeen[k] = false
+			if verr != nil {
+				continue // keep clearing the marks before reporting
+			}
 			l, ok := m.DL[p][k]
-			if !ok {
-				return fmt.Errorf("mapping: processor %d missing download for object %d", p, k)
-			}
-			if l == NoServer {
-				return fmt.Errorf("mapping: processor %d object %d has no server selected", p, k)
-			}
-			holds := false
-			for _, h := range in.Holders[k] {
-				if h == l {
-					holds = true
+			switch {
+			case !ok:
+				verr = fmt.Errorf("mapping: processor %d missing download for object %d", p, k)
+			case l == NoServer:
+				verr = fmt.Errorf("mapping: processor %d object %d has no server selected", p, k)
+			default:
+				holds := false
+				for _, h := range in.Holders[k] {
+					if h == l {
+						holds = true
+					}
+				}
+				if !holds {
+					verr = fmt.Errorf("mapping: processor %d downloads object %d from server %d which does not hold it", p, k, l)
 				}
 			}
-			if !holds {
-				return fmt.Errorf("mapping: processor %d downloads object %d from server %d which does not hold it", p, k, l)
-			}
+		}
+		if verr != nil {
+			return verr
 		}
 		if err := m.ProcFeasible(p); err != nil {
 			return err
@@ -552,7 +605,10 @@ func (m *Mapping) Validate() error {
 		if load, cap := m.ServerLoad(l), in.Platform.Servers[l].NICMBps; load > cap+eps {
 			return fmt.Errorf("mapping: server %d NIC overload %.3f > %.3f MB/s", l, load, cap)
 		}
-		for _, p := range m.AliveProcs() {
+		for p := range m.Procs {
+			if !m.Procs[p].Alive {
+				continue
+			}
 			if load := m.ServerLinkLoad(l, p); load > in.Platform.ServerLinkMBps+eps {
 				return fmt.Errorf("mapping: server link %d->%d overload %.3f > %.3f MB/s", l, p, load, in.Platform.ServerLinkMBps)
 			}

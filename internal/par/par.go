@@ -68,6 +68,15 @@ func SkipErrors(ctx context.Context, done []bool, errs []error, label string) {
 // ctx.Err(); no goroutines outlive the call in either case. fn must
 // be safe for concurrent invocation on distinct indices.
 func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
+	return ForEachWorker(ctx, workers, n, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach with worker identity: fn(w, i) runs item i on
+// worker w in [0, Workers(workers, n)). All of one worker's items run
+// sequentially on one goroutine, so callers thread per-worker reusable
+// state (scratch buffers, solver contexts) by indexing a slice with w —
+// no pools, no locks, and a deterministic number of contexts.
+func ForEachWorker(ctx context.Context, workers, n int, fn func(worker, i int)) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -78,7 +87,7 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(i)
+			fn(0, i)
 		}
 		return nil
 	}
@@ -86,16 +95,16 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return ctx.Err()

@@ -100,3 +100,32 @@ func TestWorkers(t *testing.T) {
 		}
 	}
 }
+
+func TestForEachWorkerIdentity(t *testing.T) {
+	// Worker ids must stay in [0, Workers(workers, n)) and each worker's
+	// items must run sequentially — one concurrent item per worker.
+	for _, workers := range []int{1, 3} {
+		n := 100
+		owner := make([]int32, n)
+		var active [8]atomic.Int32
+		err := ForEachWorker(context.Background(), workers, n, func(w, i int) {
+			if w < 0 || w >= Workers(workers, n) {
+				t.Errorf("worker id %d out of range", w)
+			}
+			if active[w].Add(1) != 1 {
+				t.Errorf("worker %d ran two items concurrently", w)
+			}
+			owner[i] = int32(w) + 1
+			time.Sleep(time.Microsecond)
+			active[w].Add(-1)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, o := range owner {
+			if o == 0 {
+				t.Fatalf("item %d never ran", i)
+			}
+		}
+	}
+}

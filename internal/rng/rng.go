@@ -39,6 +39,14 @@ func Derive(seed int64, label string) *rand.Rand {
 	return rand.New(rand.NewSource(SeedFor(seed, label)))
 }
 
+// Reseed rewinds an existing *rand.Rand to the exact stream Derive(seed,
+// label) would start, without allocating a new generator. Scratch-reusing
+// generators (instance.Generator) hold their streams across calls and
+// Reseed them per seed.
+func Reseed(r *rand.Rand, seed int64, label string) {
+	r.Seed(SeedFor(seed, label))
+}
+
 // New returns a seeded *rand.Rand.
 func New(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
@@ -52,11 +60,23 @@ func UniformIn(r *rand.Rand, lo, hi float64) float64 {
 // PickDistinct returns k distinct pseudo-random integers in [0, n),
 // in random order. It panics if k > n or k < 0.
 func PickDistinct(r *rand.Rand, n, k int) []int {
+	return PickDistinctInto(r, n, k, make([]int, 0, k), make([]int, n))
+}
+
+// PickDistinctInto is PickDistinct appending into out (reusing its
+// capacity) with perm as permutation scratch (len >= n). It consumes
+// exactly the same stream from r as PickDistinct — a full n-element
+// Fisher-Yates — so reusing scratch never changes downstream draws.
+func PickDistinctInto(r *rand.Rand, n, k int, out, perm []int) []int {
 	if k < 0 || k > n {
 		panic("rng: PickDistinct: k out of range")
 	}
-	perm := r.Perm(n)
-	out := make([]int, k)
-	copy(out, perm[:k])
-	return out
+	// rand.Perm's loop, into scratch: same Intn sequence, no allocation.
+	perm = perm[:n]
+	for i := 0; i < n; i++ {
+		j := r.Intn(i + 1)
+		perm[i] = perm[j]
+		perm[j] = i
+	}
+	return append(out[:0], perm[:k]...)
 }

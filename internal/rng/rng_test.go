@@ -121,3 +121,40 @@ func TestPickDistinctProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReseedMatchesDerive(t *testing.T) {
+	r := New(99)
+	r.Int63() // desync, Reseed must fully rewind
+	Reseed(r, 42, "tree")
+	want := Derive(42, "tree")
+	for i := 0; i < 50; i++ {
+		if a, b := r.Int63(), want.Int63(); a != b {
+			t.Fatalf("draw %d: %d != %d", i, a, b)
+		}
+	}
+}
+
+func TestPickDistinctIntoMatchesPickDistinct(t *testing.T) {
+	// Same picks AND same stream consumption: downstream draws must
+	// align too.
+	r1, r2 := New(7), New(7)
+	perm := make([]int, 10)
+	var out []int
+	for i := 0; i < 30; i++ {
+		n, k := 10, i%11
+		a := PickDistinct(r1, n, k)
+		b := PickDistinctInto(r2, n, k, out[:0], perm)
+		out = b
+		if len(a) != len(b) {
+			t.Fatalf("round %d: lengths differ", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("round %d: picks differ at %d", i, j)
+			}
+		}
+		if r1.Int63() != r2.Int63() {
+			t.Fatalf("round %d: streams diverged", i)
+		}
+	}
+}
