@@ -1,14 +1,14 @@
 # CI and humans invoke identical commands: .github/workflows/ci.yml runs
-# `make lint build test race bench` in the main job, `make vuln` for the
-# vulnerability scan, and `make bench-json bench-compare` in the
-# bench-compare job — and nothing else.
+# `make lint build test race bench sweep-smoke` in the main job, `make
+# vuln` for the vulnerability scan, and `make bench-json bench-compare`
+# in the bench-compare job — and nothing else.
 
 GO ?= go
 
 # Steadier perf numbers: every bench entry runs 3x its base iterations.
 BENCH_ITERS_SCALE ?= 3
 
-.PHONY: build test race bench bench-json bench-compare bench-baseline fmt lint vuln ci
+.PHONY: build test race bench bench-json bench-compare bench-baseline fmt lint vuln ci sweep-smoke
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,21 @@ bench-compare:
 bench-baseline:
 	$(GO) run ./cmd/bench -iters-scale $(BENCH_ITERS_SCALE) -o BENCH_baseline.json
 
+# Distributed-sweep smoke test: compute fig2a as two shards, merge the
+# shard cell files, and require the merged .dat to be byte-identical to
+# an unsharded run — the Grid engine's sharding contract, end to end
+# through the real CLI.
+SWEEP_SMOKE_DIR ?= .sweep-smoke
+sweep-smoke:
+	rm -rf $(SWEEP_SMOKE_DIR)
+	$(GO) run ./cmd/experiments -seeds 2 -only fig2a -workers 2 -out $(SWEEP_SMOKE_DIR)/full >/dev/null
+	$(GO) run ./cmd/experiments -seeds 2 -only fig2a -workers 2 -shard 0/2 -out $(SWEEP_SMOKE_DIR)/shards >/dev/null
+	$(GO) run ./cmd/experiments -seeds 2 -only fig2a -workers 2 -shard 1/2 -out $(SWEEP_SMOKE_DIR)/shards >/dev/null
+	$(GO) run ./cmd/experiments -seeds 2 -only fig2a -merge 2 -out $(SWEEP_SMOKE_DIR)/shards >/dev/null
+	cmp $(SWEEP_SMOKE_DIR)/full/fig2a.dat $(SWEEP_SMOKE_DIR)/shards/fig2a.dat
+	@echo "sweep-smoke: sharded merge byte-identical to the unsharded run"
+	rm -rf $(SWEEP_SMOKE_DIR)
+
 fmt:
 	gofmt -w .
 
@@ -53,4 +68,4 @@ lint:
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-ci: lint build test race bench
+ci: lint build test race bench sweep-smoke

@@ -31,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,9 +41,13 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/apptree"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/heuristics"
+	"repro/internal/instance"
+	"repro/internal/multiapp"
+	"repro/internal/rng"
 	"repro/internal/stream"
 )
 
@@ -279,9 +284,10 @@ func run(seeds, itersScale int) (*Report, error) {
 	}
 
 	// Sweep: one figure-sized experiment, serial (alloc-gated now that
-	// the per-worker sweep context keeps the path allocation-light) and
-	// at four workers (throughput trend; goroutine bookkeeping makes its
-	// allocation count scheduler-dependent, so it is not alloc-gated).
+	// the Grid engine's caller-owned mapping arena keeps the path
+	// allocation-light) and at four workers (throughput trend; goroutine
+	// bookkeeping makes its allocation count scheduler-dependent, so it
+	// is not alloc-gated).
 	add(measure("sweep/fig2a/workers=1", 2*itersScale, true, func() {
 		experiments.Fig2a(experiments.Config{Seeds: 1, BaseSeed: 1, Workers: 1})
 	}))
@@ -289,7 +295,46 @@ func run(seeds, itersScale int) (*Report, error) {
 		experiments.Fig2a(experiments.Config{Seeds: 1, BaseSeed: 1, Workers: 4})
 	}))
 
+	// Multi-tenant sweep: the Grid engine over multiapp.Combine
+	// workloads — two tenants per cell, one shared platform — serial and
+	// deterministic, so it alloc-gates the combine+solve path of the
+	// first multi-tenant harness.
+	{
+		g := multiTenantGrid()
+		name := "sweep/multiapp/workers=1"
+		add(measure(name, 6*itersScale, true, func() {
+			if _, err := g.Cells(context.Background()); err != nil {
+				panic(fmt.Sprintf("%s: %v", name, err))
+			}
+		}))
+	}
+
 	return rep, nil
+}
+
+// multiTenantGrid is the pinned multi-tenant benchmark workload: two
+// tenants (8 and 10 operators) per cell, the second's throughput target
+// swept over {1, 2, 4}, on the shared default platform.
+func multiTenantGrid() *experiments.Grid {
+	base := instance.Generate(instance.Config{NumOps: 5}, 11)
+	w := multiapp.Workload{
+		NumTypes: base.NumTypes, Sizes: base.Sizes, Freqs: base.Freqs,
+		Holders: base.Holders, Platform: base.Platform, Alpha: 1.0,
+	}
+	return &experiments.Grid{
+		Heuristics: []string{"Subtree-bottom-up", "Comp-Greedy"},
+		Xs:         []float64{1, 2, 4},
+		Seeds:      2,
+		BaseSeed:   1,
+		Workers:    1,
+		Make: func(env *experiments.WorkerEnv, x float64, seed int64) (*instance.Instance, error) {
+			apps := []multiapp.App{
+				{Tree: apptree.Random(rng.New(rng.SeedFor(seed, "dashboard")), 8, w.NumTypes), Rho: 1},
+				{Tree: apptree.Random(rng.New(rng.SeedFor(seed, "alerting")), 10, w.NumTypes), Rho: x},
+			}
+			return multiapp.Combine(apps, w)
+		},
+	}
 }
 
 // solveIters scales a solve entry's iteration count to its tree size so

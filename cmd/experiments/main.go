@@ -4,13 +4,24 @@
 //
 // Usage:
 //
-//	experiments [-seeds N] [-out DIR] [-only ID] [-workers W]
+//	experiments [-seeds N] [-out DIR] [-only ID] [-workers W] [-verify]
+//	experiments -shard i/n [-only ID] ...   # compute one shard's cells
+//	experiments -merge n   [-only ID] ...   # merge n shards into .dat
 //
 // IDs: fig2a fig2b fig3 fig3n20 large freq optimal table1 v1 abl-downgrade
 // abl-selection ilpwall (default: all).
+//
+// Sharded figure runs scale a sweep across machines: every shard writes
+// <out>/<id>.cells.<i>-of-<n>, and -merge reassembles them into .dat
+// output byte-identical to an unsharded run (per-cell seeds are pure
+// functions of grid coordinates, so the shard union IS the full grid).
+// Tables and ilpwall are not sharded and are skipped in shard mode.
+// -verify executes every feasible figure cell on the stream engine and
+// prints the verification verdict next to the ranking.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,26 +32,156 @@ import (
 
 func main() {
 	seeds := flag.Int("seeds", 10, "random instances averaged per data point")
-	out := flag.String("out", "results", "directory for .dat files (empty: skip files)")
+	out := flag.String("out", "results", "directory for .dat/.cells files (empty: skip files)")
 	only := flag.String("only", "", "run a single experiment id")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0: one per CPU, 1: serial; output is identical)")
+	shardFlag := flag.String("shard", "", "compute only shard i/n of every figure's cells (e.g. -shard 0/2)")
+	mergeFlag := flag.Int("merge", 0, "merge n shards' cell files from -out into figures")
+	verify := flag.Bool("verify", false, "execute every feasible figure cell on the stream engine and report the verdict")
 	flag.Parse()
 
-	cfg := experiments.Config{Seeds: *seeds, BaseSeed: 1, Workers: *workers}
-
-	figures := []struct {
-		id  string
-		run func(experiments.Config) *experiments.Figure
-	}{
-		{"fig2a", experiments.Fig2a},
-		{"fig2b", experiments.Fig2b},
-		{"fig3", experiments.Fig3},
-		{"fig3n20", experiments.Fig3SmallTree},
-		{"large", experiments.LargeObjects},
-		{"freq", experiments.FrequencySweep},
-		{"abl-downgrade", experiments.AblationDowngrade},
-		{"abl-selection", experiments.AblationSelection},
+	cfg := experiments.Config{Seeds: *seeds, BaseSeed: 1, Workers: *workers, Verify: *verify}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
 	}
+	if *shardFlag != "" && *mergeFlag > 0 {
+		fatal(fmt.Errorf("-shard and -merge are mutually exclusive"))
+	}
+	if (*shardFlag != "" || *mergeFlag > 0) && *out == "" {
+		fatal(fmt.Errorf("sharded runs need -out to exchange cell files"))
+	}
+	if (*shardFlag != "" || *mergeFlag > 0) && *verify {
+		fatal(fmt.Errorf("-verify is not supported with -shard/-merge (cell files carry no verification column); run it unsharded"))
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	switch {
+	case *shardFlag != "":
+		var sh experiments.Shard
+		if _, err := fmt.Sscanf(*shardFlag, "%d/%d", &sh.Index, &sh.Count); err != nil {
+			fatal(fmt.Errorf("bad -shard %q, want i/n: %v", *shardFlag, err))
+		}
+		runShard(cfg, sh, *only, *out)
+	case *mergeFlag > 0:
+		mergeShards(cfg, *mergeFlag, *only, *out)
+	default:
+		runAll(cfg, *only, *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}
+
+// selectedFigures returns the figure ids to run, honouring -only.
+func selectedFigures(only string) []string {
+	var ids []string
+	for _, id := range experiments.FigureIDs() {
+		if only == "" || only == id {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+func cellsPath(out, id string, sh experiments.Shard) string {
+	return filepath.Join(out, fmt.Sprintf("%s.cells.%d-of-%d", id, sh.Index, sh.Count))
+}
+
+// runShard computes and writes one shard's cells for every selected figure.
+func runShard(cfg experiments.Config, sh experiments.Shard, only, out string) {
+	ids := selectedFigures(only)
+	if len(ids) == 0 {
+		fatal(fmt.Errorf("unknown experiment id %q", only))
+	}
+	for _, id := range ids {
+		sc, err := experiments.RunFigureShard(context.Background(), id, cfg, sh)
+		if err != nil {
+			fatal(err)
+		}
+		path := cellsPath(out, id, sh)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sc.Encode(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d units)\n", path, len(sc.Units))
+	}
+	if only == "" {
+		fmt.Println("shard mode covers figures only; run tables (optimal, table1, v1, ilpwall) unsharded")
+	}
+}
+
+// mergeShards reassembles n shards' cell files into figures and writes
+// the .dat output an unsharded run would have produced.
+func mergeShards(cfg experiments.Config, n int, only, out string) {
+	ids := selectedFigures(only)
+	if len(ids) == 0 {
+		fatal(fmt.Errorf("unknown experiment id %q", only))
+	}
+	for _, id := range ids {
+		parts := make([]*experiments.ShardCells, 0, n)
+		for i := 0; i < n; i++ {
+			sh := experiments.Shard{Index: i, Count: n}
+			f, err := os.Open(cellsPath(out, id, sh))
+			if err != nil {
+				fatal(err)
+			}
+			sc, err := experiments.DecodeShardCells(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			parts = append(parts, sc)
+		}
+		fig, err := experiments.MergeFigure(id, cfg, parts)
+		if err != nil {
+			fatal(err)
+		}
+		emitFigure(fig, out)
+	}
+}
+
+// emitFigure prints a figure and writes its .dat file.
+func emitFigure(fig *experiments.Figure, out string) {
+	fmt.Println(fig.ASCII(76, 18))
+	fmt.Printf("ranking (cheapest first): %v\n", fig.Ranking())
+	if fig.Verify != nil {
+		fmt.Println(fig.Verify)
+	}
+	fmt.Println()
+	if out != "" {
+		path := filepath.Join(out, fig.ID+".dat")
+		if err := os.WriteFile(path, []byte(fig.Dat()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
+}
+
+// runAll is the classic unsharded mode: every figure, table and note.
+func runAll(cfg experiments.Config, only, out string) {
+	ran := 0
+	for _, id := range selectedFigures(only) {
+		ran++
+		fig, err := experiments.BuildFigure(id, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		emitFigure(fig, out)
+	}
+
 	tables := []struct {
 		id  string
 		run func(experiments.Config) *experiments.Table
@@ -49,49 +190,22 @@ func main() {
 		{"optimal", experiments.OptimalComparison},
 		{"v1", experiments.ThroughputValidation},
 	}
-
-	if *out != "" {
-		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
-
-	ran := 0
-	for _, f := range figures {
-		if *only != "" && *only != f.id {
-			continue
-		}
-		ran++
-		fig := f.run(cfg)
-		fmt.Println(fig.ASCII(76, 18))
-		fmt.Printf("ranking (cheapest first): %v\n\n", fig.Ranking())
-		if *out != "" {
-			path := filepath.Join(*out, fig.ID+".dat")
-			if err := os.WriteFile(path, []byte(fig.Dat()), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Printf("wrote %s\n\n", path)
-		}
-	}
 	for _, tb := range tables {
-		if *only != "" && *only != tb.id {
+		if only != "" && only != tb.id {
 			continue
 		}
 		ran++
 		tab := tb.run(cfg)
 		fmt.Println(tab.String())
-		if *out != "" {
-			path := filepath.Join(*out, tab.ID+".txt")
+		if out != "" {
+			path := filepath.Join(out, tab.ID+".txt")
 			if err := os.WriteFile(path, []byte(tab.String()), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fatal(err)
 			}
 			fmt.Printf("wrote %s\n\n", path)
 		}
 	}
-	if *only == "" || *only == "ilpwall" {
+	if only == "" || only == "ilpwall" {
 		ran++
 		if n, err := experiments.ILPScalingNote(); err == nil {
 			fmt.Printf("ILP wall: the full formulation exceeds the size budget from N=%d operators\n", n)
@@ -101,7 +215,7 @@ func main() {
 		}
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", *only)
+		fmt.Fprintf(os.Stderr, "unknown experiment id %q\n", only)
 		os.Exit(2)
 	}
 }

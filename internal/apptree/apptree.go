@@ -63,9 +63,17 @@ func (t *Tree) NumLeaves() int { return len(t.Leaves) }
 // basic-object leaf child.
 func (t *Tree) IsAL(i int) bool { return len(t.Ops[i].Leaves) > 0 }
 
-// ALOperators returns the indices of all al-operators, in increasing order.
+// ALOperators returns the indices of all al-operators, in increasing
+// order, as one exactly-sized allocation (solve pipelines call this per
+// solve).
 func (t *Tree) ALOperators() []int {
-	var out []int
+	n := 0
+	for i := range t.Ops {
+		if t.IsAL(i) {
+			n++
+		}
+	}
+	out := make([]int, 0, n)
 	for i := range t.Ops {
 		if t.IsAL(i) {
 			out = append(out, i)
@@ -109,18 +117,22 @@ func (t *Tree) LeafObjectsBuf(i int, buf *[2]int) []int {
 }
 
 // ObjectSet returns the sorted set of distinct basic-object types used
-// anywhere in the tree.
+// anywhere in the tree. One exact allocation: gather, sort, dedup in
+// place.
 func (t *Tree) ObjectSet() []int {
-	seen := map[int]bool{}
-	var out []int
+	out := make([]int, 0, len(t.Leaves))
 	for _, l := range t.Leaves {
-		if !seen[l.Object] {
-			seen[l.Object] = true
-			out = append(out, l.Object)
-		}
+		out = append(out, l.Object)
 	}
 	sort.Ints(out)
-	return out
+	w := 0
+	for i, k := range out {
+		if i == 0 || k != out[w-1] {
+			out[w] = k
+			w++
+		}
+	}
+	return out[:w]
 }
 
 // Popularity returns, for each object type in [0, numTypes), how many
@@ -140,15 +152,26 @@ func (t *Tree) Popularity(numTypes int) []int {
 // BottomUp returns the operator indices in a bottom-up topological order:
 // every operator appears after all of its operator children.
 func (t *Tree) BottomUp() []int {
+	// Iterative post-order on an explicit stack: exactly two fixed-size
+	// allocations per call instead of a recursive closure.
 	out := make([]int, 0, len(t.Ops))
-	var visit func(i int)
-	visit = func(i int) {
-		for _, c := range t.Ops[i].ChildOps {
-			visit(c)
+	stack := make([]int, 0, len(t.Ops))
+	stack = append(stack, t.Root)
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		if i >= 0 {
+			// First visit: revisit marker, then children (reversed so the
+			// leftmost child pops — and therefore emits — first).
+			stack[len(stack)-1] = ^i
+			cs := t.Ops[i].ChildOps
+			for c := len(cs) - 1; c >= 0; c-- {
+				stack = append(stack, cs[c])
+			}
+			continue
 		}
-		out = append(out, i)
+		stack = stack[:len(stack)-1]
+		out = append(out, ^i)
 	}
-	visit(t.Root)
 	return out
 }
 

@@ -3,6 +3,13 @@
 // repository's ablations. Each experiment is a pure function of a Config,
 // so benchmark and CLI output are identical and reproducible.
 //
+// Since the Grid redesign every figure is a declarative definition — one
+// or more sweep Grids plus a fold from cells to series — evaluated by
+// the shared engine in grid.go. That is what makes figures shardable
+// across machines (RunFigureShard / MergeFigure reassemble byte-identical
+// .dat output from disjoint cell sets) and verifiable (Config.Verify
+// executes every feasible cell on the stream engine).
+//
 // The experiment index (IDs E1-E8, A1-A3, V1) lives in DESIGN.md;
 // EXPERIMENTS.md records paper-versus-measured outcomes.
 package experiments
@@ -16,7 +23,6 @@ import (
 
 	"repro/internal/heuristics"
 	"repro/internal/instance"
-	"repro/internal/par"
 	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/textplot"
@@ -31,6 +37,10 @@ type Config struct {
 	// regenerates its own instance and derives its own rng substream
 	// from its seed, so figures are byte-identical at any worker count.
 	Workers int
+	// Verify executes every feasible figure cell on the discrete-event
+	// stream engine and attaches a VerifySummary to the figure. The
+	// .dat output is unchanged (simulation never perturbs the solve).
+	Verify bool
 }
 
 func (c Config) withDefaults() Config {
@@ -38,6 +48,19 @@ func (c Config) withDefaults() Config {
 		c.Seeds = 10
 	}
 	return c
+}
+
+// Validate rejects configurations that would silently degrade into
+// empty or misleading output. Zero values remain valid (withDefaults
+// fills them); explicit negatives are user error and reported as such.
+func (c Config) Validate() error {
+	if c.Seeds < 0 {
+		return fmt.Errorf("experiments: Seeds must be positive (or 0 for the default 10), got %d", c.Seeds)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("experiments: Workers must be >= 0 (0 means one per CPU), got %d", c.Workers)
+	}
+	return nil
 }
 
 // Point is one x position of one series.
@@ -55,6 +78,45 @@ type Series struct {
 	Points []Point
 }
 
+// VerifySummary aggregates the stream-engine verification column of a
+// figure run with Config.Verify: every feasible cell's mapping was
+// executed and its measured steady-state throughput compared against
+// the instance's QoS target rho (with the standard 10% simulation
+// tolerance) and against the analytic bound.
+type VerifySummary struct {
+	Cells    int     // feasible cells executed on the stream engine
+	MeetRho  int     // cells whose measured throughput reached 0.9*rho
+	SimFails int     // stream-engine failures (event budget, etc.)
+	MinRatio float64 // min measured/rho over simulated cells (+Inf when none)
+	MaxDrift float64 // max |measured-analytic|/analytic over simulated cells
+}
+
+// String renders the one-line sweep verification verdict.
+func (v *VerifySummary) String() string {
+	return fmt.Sprintf("verify: %d/%d simulated cells meet rho (%d sim failures, min measured/rho %.3f, max analytic drift %.1f%%)",
+		v.MeetRho, v.Cells, v.SimFails, v.MinRatio, 100*v.MaxDrift)
+}
+
+// add folds one feasible cell into the summary.
+func (v *VerifySummary) add(c *Cell) {
+	v.Cells++
+	if c.VerifyErr != nil {
+		v.SimFails++
+		return
+	}
+	if c.MeetsRho() {
+		v.MeetRho++
+	}
+	if ratio := c.Measured / c.Rho; ratio < v.MinRatio {
+		v.MinRatio = ratio
+	}
+	if c.Analytic > 0 {
+		if drift := math.Abs(c.Measured-c.Analytic) / c.Analytic; drift > v.MaxDrift {
+			v.MaxDrift = drift
+		}
+	}
+}
+
 // Figure is a reproduced paper figure.
 type Figure struct {
 	ID     string // e.g. "fig2a"
@@ -62,87 +124,17 @@ type Figure struct {
 	XLabel string
 	YLabel string
 	Series []Series
+	Verify *VerifySummary // non-nil after a Config.Verify run
 }
 
-// heuristicSet returns the paper's six heuristics plus the A3
-// conservative-merging variant of Subtree-bottom-up.
-func heuristicSet() []heuristics.Heuristic {
-	return append(heuristics.All(), heuristics.SubtreeBottomUp{DisableFold: true})
-}
-
-// sweepCtx is one sweep worker's reusable state: an instance generator,
-// a solve context and (for the simulation harnesses) a stream runner,
-// all recycled across the worker's items so a figure-sized sweep stops
-// re-allocating per (heuristic, x, seed) cell. Each worker of a
-// par.ForEachWorker pool owns exactly one sweepCtx; instances produced
-// by gen are solved and discarded before the worker's next item.
-type sweepCtx struct {
-	gen    instance.Generator
-	sc     heuristics.SolveContext
-	runner stream.Runner
-}
-
-// sweepCtxs returns one context per pool worker.
-func sweepCtxs(workers, n int) []sweepCtx {
-	return make([]sweepCtx, par.Workers(workers, n))
-}
-
-// sweep evaluates every heuristic at every x, averaging cost over seeds.
-// The (heuristic, x, seed) grid is flattened into independent work items
-// fanned across cfg.Workers goroutines; the reduction below merges the
-// per-item cells back in input order, so the resulting Series — and the
-// Figure.Dat() bytes rendered from them — are identical to a serial run.
-// mk receives the worker's instance generator; the instance it returns
-// is owned by that generator and lives only for the one solve.
-func sweep(cfg Config, xs []float64, mk func(g *instance.Generator, x float64, seed int64) *instance.Instance,
-	opts func(h heuristics.Heuristic) heuristics.Options) []Series {
-	cfg = cfg.withDefaults()
-	hs := heuristicSet()
-	nx, ns := len(xs), cfg.Seeds
-	type cell struct {
-		cost float64
-		ok   bool
+// heuristicSet returns the names of the paper's six heuristics plus the
+// A3 conservative-merging variant of Subtree-bottom-up, in plot order.
+func heuristicSet() []string {
+	var names []string
+	for _, h := range heuristics.All() {
+		names = append(names, h.Name())
 	}
-	cells := make([]cell, len(hs)*nx*ns)
-	ctxs := sweepCtxs(cfg.Workers, len(cells))
-	par.ForEachWorker(context.Background(), cfg.Workers, len(cells), func(w, idx int) {
-		c := &ctxs[w]
-		h := hs[idx/(nx*ns)]
-		x := xs[(idx/ns)%nx]
-		seed := cfg.BaseSeed + int64(idx%ns)
-		in := mk(&c.gen, x, seed)
-		o := heuristics.Options{Seed: seed}
-		if opts != nil {
-			o = opts(h)
-			o.Seed = seed
-		}
-		if res, err := c.sc.Solve(in, h, o); err == nil {
-			cells[idx] = cell{cost: res.Cost, ok: true}
-		}
-	})
-	series := make([]Series, len(hs))
-	for hi, h := range hs {
-		series[hi].Label = h.Name()
-		for xi, x := range xs {
-			var costs []float64
-			fails := 0
-			for s := 0; s < ns; s++ {
-				c := cells[(hi*nx+xi)*ns+s]
-				if !c.ok {
-					fails++
-					continue
-				}
-				costs = append(costs, c.cost)
-			}
-			pt := Point{X: x, Fails: fails, Runs: cfg.Seeds, Mean: math.NaN()}
-			if len(costs) > 0 {
-				pt.Mean = stats.Mean(costs)
-				pt.CI = stats.CI95(costs)
-			}
-			series[hi].Points = append(series[hi].Points, pt)
-		}
-	}
-	return series
+	return append(names, heuristics.SubtreeBottomUp{DisableFold: true}.Name())
 }
 
 // nRange is the paper's x-axis for Figure 2: N in 20..140.
@@ -157,145 +149,315 @@ func alphaRange() []float64 {
 	return xs
 }
 
-// Fig2a reproduces Figure 2(a): cost versus N, alpha=0.9, high download
-// frequency (1/2 s), small objects (5-30 MB).
-func Fig2a(cfg Config) *Figure {
-	return &Figure{
-		ID: "fig2a", Title: "Figure 2(a): cost vs N (alpha=0.9, f=1/2s, small objects)",
-		XLabel: "number of nodes", YLabel: "cost ($)",
-		Series: sweep(cfg, nRange(), func(g *instance.Generator, x float64, seed int64) *instance.Instance {
-			return g.Generate(instance.Config{NumOps: int(x), Alpha: 0.9}, seed)
-		}, nil),
+// seriesFold reduces one unit's full grid of cells (index order, length
+// grid.Size()) to plot series.
+type seriesFold func(g *Grid, cells []Cell) []Series
+
+// unitDef is one sweep of a figure: a grid builder plus its fold. Most
+// figures are a single unit; ablations run one unit per variant.
+type unitDef struct {
+	grid func(cfg Config) *Grid
+	fold seriesFold
+}
+
+// figDef is a declarative figure: metadata plus its sweep units.
+type figDef struct {
+	id, title, xlabel, ylabel string
+	units                     []unitDef
+}
+
+// stdGrid assembles the common figure grid: the full heuristic set over
+// xs with the Config's seeds/workers and an instance factory.
+func stdGrid(cfg Config, xs []float64, cfgOf func(x float64) instance.Config) *Grid {
+	return &Grid{
+		Heuristics: heuristicSet(),
+		Xs:         xs,
+		Seeds:      cfg.Seeds,
+		BaseSeed:   cfg.BaseSeed,
+		Workers:    cfg.Workers,
+		Make:       MakeInstances(cfgOf),
 	}
 }
 
-// Fig2b reproduces Figure 2(b): as Fig2a with alpha=1.7.
-func Fig2b(cfg Config) *Figure {
-	return &Figure{
-		ID: "fig2b", Title: "Figure 2(b): cost vs N (alpha=1.7, f=1/2s, small objects)",
-		XLabel: "number of nodes", YLabel: "cost ($)",
-		Series: sweep(cfg, nRange(), func(g *instance.Generator, x float64, seed int64) *instance.Instance {
-			return g.Generate(instance.Config{NumOps: int(x), Alpha: 1.7}, seed)
-		}, nil),
+// meanSeries is the standard fold: per (heuristic, x), mean cost and
+// 95% CI over the feasible repetitions, NaN when none.
+func meanSeries(g *Grid, cells []Cell) []Series {
+	nx, ns := len(g.Xs), g.Seeds
+	series := make([]Series, len(g.Heuristics))
+	for hi, name := range g.Heuristics {
+		series[hi].Label = name
+		for xi, x := range g.Xs {
+			var costs []float64
+			fails := 0
+			for s := 0; s < ns; s++ {
+				c := &cells[(hi*nx+xi)*ns+s]
+				if c.Err != nil {
+					fails++
+					continue
+				}
+				costs = append(costs, c.Cost)
+			}
+			pt := Point{X: x, Fails: fails, Runs: ns, Mean: math.NaN()}
+			if len(costs) > 0 {
+				pt.Mean = stats.Mean(costs)
+				pt.CI = stats.CI95(costs)
+			}
+			series[hi].Points = append(series[hi].Points, pt)
+		}
+	}
+	return series
+}
+
+// relabeled wraps a fold, rewriting every series label through rename.
+func relabeled(fold seriesFold, rename func(label string) string) seriesFold {
+	return func(g *Grid, cells []Cell) []Series {
+		series := fold(g, cells)
+		for i := range series {
+			series[i].Label = rename(series[i].Label)
+		}
+		return series
 	}
 }
 
-// Fig3 reproduces Figure 3: cost versus alpha at N=60.
-func Fig3(cfg Config) *Figure {
-	return &Figure{
-		ID: "fig3", Title: "Figure 3: cost vs alpha (N=60, f=1/2s, small objects)",
-		XLabel: "alpha", YLabel: "cost ($)",
-		Series: sweep(cfg, alphaRange(), func(g *instance.Generator, x float64, seed int64) *instance.Instance {
-			return g.Generate(instance.Config{NumOps: 60, Alpha: x}, seed)
-		}, nil),
+// feasSeries folds a single-heuristic grid into one feasibility-count
+// series (the A2 ablation's y-axis).
+func feasSeries(label string) seriesFold {
+	return func(g *Grid, cells []Cell) []Series {
+		s := Series{Label: label}
+		ns := g.Seeds
+		for xi, x := range g.Xs {
+			ok := 0
+			for i := 0; i < ns; i++ {
+				if cells[xi*ns+i].Err == nil {
+					ok++
+				}
+			}
+			s.Points = append(s.Points, Point{X: x, Mean: float64(ok), Runs: ns, Fails: ns - ok})
+		}
+		return []Series{s}
 	}
 }
 
-// Fig3SmallTree reproduces the Section 5 text companion of Figure 3 for
-// N=20 (thresholds around alpha=1.7 and 2.2).
-func Fig3SmallTree(cfg Config) *Figure {
-	return &Figure{
-		ID: "fig3n20", Title: "cost vs alpha (N=20, f=1/2s, small objects)",
-		XLabel: "alpha", YLabel: "cost ($)",
-		Series: sweep(cfg, alphaRange(), func(g *instance.Generator, x float64, seed int64) *instance.Instance {
-			return g.Generate(instance.Config{NumOps: 20, Alpha: x}, seed)
-		}, nil),
+// figDefs returns every figure definition, in the CLI's order.
+func figDefs() []figDef {
+	paperSweep := func(xs []float64, cfgOf func(x float64) instance.Config) []unitDef {
+		return []unitDef{{
+			grid: func(cfg Config) *Grid { return stdGrid(cfg, xs, cfgOf) },
+			fold: meanSeries,
+		}}
 	}
+	defs := []figDef{
+		{
+			id: "fig2a", title: "Figure 2(a): cost vs N (alpha=0.9, f=1/2s, small objects)",
+			xlabel: "number of nodes", ylabel: "cost ($)",
+			units: paperSweep(nRange(), func(x float64) instance.Config {
+				return instance.Config{NumOps: int(x), Alpha: 0.9}
+			}),
+		},
+		{
+			id: "fig2b", title: "Figure 2(b): cost vs N (alpha=1.7, f=1/2s, small objects)",
+			xlabel: "number of nodes", ylabel: "cost ($)",
+			units: paperSweep(nRange(), func(x float64) instance.Config {
+				return instance.Config{NumOps: int(x), Alpha: 1.7}
+			}),
+		},
+		{
+			id: "fig3", title: "Figure 3: cost vs alpha (N=60, f=1/2s, small objects)",
+			xlabel: "alpha", ylabel: "cost ($)",
+			units: paperSweep(alphaRange(), func(x float64) instance.Config {
+				return instance.Config{NumOps: 60, Alpha: x}
+			}),
+		},
+		{
+			id: "fig3n20", title: "cost vs alpha (N=20, f=1/2s, small objects)",
+			xlabel: "alpha", ylabel: "cost ($)",
+			units: paperSweep(alphaRange(), func(x float64) instance.Config {
+				return instance.Config{NumOps: 20, Alpha: x}
+			}),
+		},
+		{
+			id: "large", title: "cost vs N (alpha=0.9, f=1/2s, LARGE objects 450-530MB)",
+			xlabel: "number of nodes", ylabel: "cost ($)",
+			units: paperSweep([]float64{5, 10, 15, 20, 30, 45, 60}, func(x float64) instance.Config {
+				return instance.Config{NumOps: int(x), Alpha: 0.9, SizeMin: 450, SizeMax: 530}
+			}),
+		},
+		{
+			id: "freq", title: "cost vs update period 1/f (N=60, alpha=0.9, small objects)",
+			xlabel: "update period (s)", ylabel: "cost ($)",
+			units: paperSweep([]float64{2, 5, 10, 20, 50}, func(x float64) instance.Config {
+				return instance.Config{NumOps: 60, Alpha: 0.9, Freq: 1 / x}
+			}),
+		},
+	}
+	defs = append(defs, ablationDowngradeDef(), ablationSelectionDef())
+	return defs
 }
 
-// LargeObjects reproduces the Section 5 text experiment with 450-530 MB
-// objects: feasibility collapses beyond a modest tree size.
-func LargeObjects(cfg Config) *Figure {
-	xs := []float64{5, 10, 15, 20, 30, 45, 60}
-	return &Figure{
-		ID: "large", Title: "cost vs N (alpha=0.9, f=1/2s, LARGE objects 450-530MB)",
-		XLabel: "number of nodes", YLabel: "cost ($)",
-		Series: sweep(cfg, xs, func(g *instance.Generator, x float64, seed int64) *instance.Instance {
-			return g.Generate(instance.Config{NumOps: int(x), Alpha: 0.9, SizeMin: 450, SizeMax: 530}, seed)
-		}, nil),
-	}
-}
-
-// FrequencySweep reproduces the download-rate experiment: cost versus
-// update period (1/f from 2s to 50s) at N=60; below 1/10s the solutions
-// stop changing.
-func FrequencySweep(cfg Config) *Figure {
-	periods := []float64{2, 5, 10, 20, 50}
-	return &Figure{
-		ID: "freq", Title: "cost vs update period 1/f (N=60, alpha=0.9, small objects)",
-		XLabel: "update period (s)", YLabel: "cost ($)",
-		Series: sweep(cfg, periods, func(g *instance.Generator, x float64, seed int64) *instance.Instance {
-			return g.Generate(instance.Config{NumOps: 60, Alpha: 0.9, Freq: 1 / x}, seed)
-		}, nil),
-	}
-}
-
-// AblationDowngrade (A1) isolates the paper's third pipeline step: the
-// same placements with and without the downgrade step.
-func AblationDowngrade(cfg Config) *Figure {
-	fig := &Figure{
-		ID: "abl-downgrade", Title: "Ablation A1: downgrade step on/off (alpha=0.9)",
-		XLabel: "number of nodes", YLabel: "cost ($)",
+// ablationDowngradeDef (A1) isolates the paper's third pipeline step:
+// the same placements with and without the downgrade step. Only
+// Subtree-bottom-up and Comp-Greedy are swept (the effect is uniform
+// across heuristics and the figure stays readable); per-cell results
+// are independent across heuristics, so the curves are identical to a
+// full-set sweep filtered down.
+func ablationDowngradeDef() figDef {
+	def := figDef{
+		id: "abl-downgrade", title: "Ablation A1: downgrade step on/off (alpha=0.9)",
+		xlabel: "number of nodes", ylabel: "cost ($)",
 	}
 	for _, variant := range []struct {
 		label string
 		skip  bool
 	}{{"with downgrade", false}, {"without downgrade", true}} {
-		s := sweep(cfg, nRange(), func(g *instance.Generator, x float64, seed int64) *instance.Instance {
-			return g.Generate(instance.Config{NumOps: int(x), Alpha: 0.9}, seed)
-		}, func(heuristics.Heuristic) heuristics.Options {
-			return heuristics.Options{SkipDowngrade: variant.skip}
+		skip, label := variant.skip, variant.label
+		def.units = append(def.units, unitDef{
+			grid: func(cfg Config) *Grid {
+				g := stdGrid(cfg, nRange(), func(x float64) instance.Config {
+					return instance.Config{NumOps: int(x), Alpha: 0.9}
+				})
+				g.Heuristics = []string{"Comp-Greedy", "Subtree-bottom-up"}
+				g.Opts = func(string) heuristics.Options {
+					return heuristics.Options{SkipDowngrade: skip}
+				}
+				return g
+			},
+			fold: relabeled(meanSeries, func(l string) string { return l + " (" + label + ")" }),
 		})
-		// Keep only Subtree-bottom-up and Comp-Greedy to keep the figure
-		// readable; the effect is uniform across heuristics.
-		for _, sr := range s {
-			if sr.Label == "Subtree-bottom-up" || sr.Label == "Comp-Greedy" {
-				sr.Label += " (" + variant.label + ")"
-				fig.Series = append(fig.Series, sr)
-			}
-		}
 	}
-	return fig
+	return def
 }
 
-// AblationSelection (A2) compares the paper's three-loop server selection
-// with the naive random selection on the same placements.
-func AblationSelection(cfg Config) *Figure {
-	fig := &Figure{
-		ID: "abl-selection", Title: "Ablation A2: three-loop vs random server selection (alpha=0.9)",
-		XLabel: "number of nodes", YLabel: "feasible runs (of Seeds)",
+// ablationSelectionDef (A2) compares the paper's three-loop server
+// selection with the naive random selection on the same placements.
+func ablationSelectionDef() figDef {
+	def := figDef{
+		id: "abl-selection", title: "Ablation A2: three-loop vs random server selection (alpha=0.9)",
+		xlabel: "number of nodes", ylabel: "feasible runs (of Seeds)",
 	}
-	cfg = cfg.withDefaults()
 	for _, variant := range []struct {
 		label string
 		mode  heuristics.ServerSelectionMode
 	}{{"three-loop", heuristics.SelectThreeLoop}, {"random", heuristics.SelectRandom}} {
-		s := Series{Label: "Subtree-bottom-up (" + variant.label + ")"}
-		xs := nRange()
-		feasible := make([]bool, len(xs)*cfg.Seeds)
-		ctxs := sweepCtxs(cfg.Workers, len(feasible))
-		par.ForEachWorker(context.Background(), cfg.Workers, len(feasible), func(w, idx int) {
-			c := &ctxs[w]
-			x := xs[idx/cfg.Seeds]
-			seed := cfg.BaseSeed + int64(idx%cfg.Seeds)
-			in := c.gen.Generate(instance.Config{NumOps: int(x), Alpha: 0.9}, seed)
-			_, err := c.sc.Solve(in, heuristics.SubtreeBottomUp{},
-				heuristics.Options{Seed: seed, Selection: variant.mode})
-			feasible[idx] = err == nil
+		mode, label := variant.mode, variant.label
+		def.units = append(def.units, unitDef{
+			grid: func(cfg Config) *Grid {
+				g := stdGrid(cfg, nRange(), func(x float64) instance.Config {
+					return instance.Config{NumOps: int(x), Alpha: 0.9}
+				})
+				g.Heuristics = []string{"Subtree-bottom-up"}
+				g.Opts = func(string) heuristics.Options {
+					return heuristics.Options{Selection: mode}
+				}
+				return g
+			},
+			fold: feasSeries("Subtree-bottom-up (" + label + ")"),
 		})
-		for xi, x := range xs {
-			ok := 0
-			for i := 0; i < cfg.Seeds; i++ {
-				if feasible[xi*cfg.Seeds+i] {
-					ok++
+	}
+	return def
+}
+
+// FigureIDs lists every figure id, in the CLI's order.
+func FigureIDs() []string {
+	var ids []string
+	for _, def := range figDefs() {
+		ids = append(ids, def.id)
+	}
+	return ids
+}
+
+func figDefByID(id string) (figDef, error) {
+	for _, def := range figDefs() {
+		if def.id == id {
+			return def, nil
+		}
+	}
+	return figDef{}, fmt.Errorf("experiments: unknown figure %q (have %v)", id, FigureIDs())
+}
+
+// BuildFigure runs the figure's full grid(s) and folds the cells into
+// the Figure — the one path behind the legacy Fig2a-style wrappers, the
+// CLI and the shard merge, so their outputs are identical by
+// construction.
+func BuildFigure(id string, cfg Config) (*Figure, error) {
+	def, err := figDefByID(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	fig := def.newFigure()
+	var verify *VerifySummary
+	if cfg.Verify {
+		verify = &VerifySummary{MinRatio: math.Inf(1)}
+	}
+	for _, u := range def.units {
+		g := u.grid(cfg)
+		if verify != nil {
+			g.Verify = &stream.Options{Results: 80}
+		}
+		cells, err := g.Cells(context.Background())
+		if err != nil {
+			return nil, err
+		}
+		if verify != nil {
+			for i := range cells {
+				if cells[i].Err == nil {
+					verify.add(&cells[i])
 				}
 			}
-			s.Points = append(s.Points, Point{X: x, Mean: float64(ok), Runs: cfg.Seeds, Fails: cfg.Seeds - ok})
 		}
-		fig.Series = append(fig.Series, s)
+		fig.Series = append(fig.Series, u.fold(g, cells)...)
+	}
+	fig.Verify = verify
+	return fig, nil
+}
+
+func (def figDef) newFigure() *Figure {
+	return &Figure{ID: def.id, Title: def.title, XLabel: def.xlabel, YLabel: def.ylabel}
+}
+
+// mustFigure backs the legacy figure wrappers, whose signatures predate
+// the error-returning Grid engine; their inputs are static and valid.
+func mustFigure(id string, cfg Config) *Figure {
+	fig, err := BuildFigure(id, cfg)
+	if err != nil {
+		panic(err)
 	}
 	return fig
 }
+
+// Fig2a reproduces Figure 2(a): cost versus N, alpha=0.9, high download
+// frequency (1/2 s), small objects (5-30 MB).
+func Fig2a(cfg Config) *Figure { return mustFigure("fig2a", cfg) }
+
+// Fig2b reproduces Figure 2(b): as Fig2a with alpha=1.7.
+func Fig2b(cfg Config) *Figure { return mustFigure("fig2b", cfg) }
+
+// Fig3 reproduces Figure 3: cost versus alpha at N=60.
+func Fig3(cfg Config) *Figure { return mustFigure("fig3", cfg) }
+
+// Fig3SmallTree reproduces the Section 5 text companion of Figure 3 for
+// N=20 (thresholds around alpha=1.7 and 2.2).
+func Fig3SmallTree(cfg Config) *Figure { return mustFigure("fig3n20", cfg) }
+
+// LargeObjects reproduces the Section 5 text experiment with 450-530 MB
+// objects: feasibility collapses beyond a modest tree size.
+func LargeObjects(cfg Config) *Figure { return mustFigure("large", cfg) }
+
+// FrequencySweep reproduces the download-rate experiment: cost versus
+// update period (1/f from 2s to 50s) at N=60; below 1/10s the solutions
+// stop changing.
+func FrequencySweep(cfg Config) *Figure { return mustFigure("freq", cfg) }
+
+// AblationDowngrade (A1) isolates the paper's third pipeline step: the
+// same placements with and without the downgrade step.
+func AblationDowngrade(cfg Config) *Figure { return mustFigure("abl-downgrade", cfg) }
+
+// AblationSelection (A2) compares the paper's three-loop server selection
+// with the naive random selection on the same placements.
+func AblationSelection(cfg Config) *Figure { return mustFigure("abl-selection", cfg) }
 
 // Dat renders the figure as a gnuplot-style whitespace table: one x column
 // followed by one cost column per series ("nan" for infeasible points).

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// cellsSchema identifies the shard cell-file layout; bump on
+// incompatible changes so stale shard outputs cannot be merged silently.
+const cellsSchema = "streamalloc-cells/v1"
+
+// errCellInfeasible marks a decoded cell that recorded no feasible
+// mapping; the concrete solve error is not serialized (folds only need
+// feasibility).
+var errCellInfeasible = errors.New("experiments: cell recorded as infeasible")
+
+// ShardCells is one shard's worth of one figure's raw sweep cells — the
+// unit of work a distributed figure run ships between machines. Each
+// entry of Units parallels the figure definition's sweep units and
+// holds that unit's shard cells in full-grid index order.
+type ShardCells struct {
+	FigID    string
+	Shard    Shard
+	Seeds    int
+	BaseSeed int64
+	Units    [][]Cell
+}
+
+// RunFigureShard computes the figure's cells belonging to one shard.
+// Per-cell seeds are pure functions of grid coordinates, so the union
+// of all shards reproduces the unsharded run cell-for-cell; MergeFigure
+// folds that union into a byte-identical Figure.
+func RunFigureShard(ctx context.Context, id string, cfg Config, sh Shard) (*ShardCells, error) {
+	def, err := figDefByID(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sh.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	out := &ShardCells{FigID: id, Shard: sh.normalized(), Seeds: cfg.Seeds, BaseSeed: cfg.BaseSeed}
+	for _, u := range def.units {
+		g := u.grid(cfg)
+		g.Shard = sh
+		cells, err := g.Cells(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out.Units = append(out.Units, cells)
+	}
+	return out, nil
+}
+
+// MergeFigure reassembles the full cell grid from every shard's cells
+// and folds it into the Figure. The parts must cover every shard index
+// exactly once and agree on figure id, seeds and base seed; every cell
+// of every unit must be present exactly once. The result is
+// byte-identical (Figure.Dat) to an unsharded BuildFigure run.
+func MergeFigure(id string, cfg Config, parts []*ShardCells) (*Figure, error) {
+	def, err := figDefByID(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("experiments: merge %s: no shard parts", id)
+	}
+	count := parts[0].Shard.normalized().Count
+	seenShard := make([]bool, count)
+	for _, p := range parts {
+		if err := p.Shard.validate(); err != nil {
+			return nil, fmt.Errorf("experiments: merge %s: %w", id, err)
+		}
+		switch {
+		case p.FigID != id:
+			return nil, fmt.Errorf("experiments: merge %s: part belongs to figure %q", id, p.FigID)
+		case p.Seeds != cfg.Seeds || p.BaseSeed != cfg.BaseSeed:
+			return nil, fmt.Errorf("experiments: merge %s: part ran with seeds=%d base=%d, want seeds=%d base=%d",
+				id, p.Seeds, p.BaseSeed, cfg.Seeds, cfg.BaseSeed)
+		case p.Shard.normalized().Count != count:
+			return nil, fmt.Errorf("experiments: merge %s: mixed shard counts %d and %d", id, p.Shard.normalized().Count, count)
+		case len(p.Units) != len(def.units):
+			return nil, fmt.Errorf("experiments: merge %s: part has %d sweep units, figure has %d", id, len(p.Units), len(def.units))
+		}
+		i := p.Shard.normalized().Index
+		if seenShard[i] {
+			return nil, fmt.Errorf("experiments: merge %s: shard %d supplied twice", id, i)
+		}
+		seenShard[i] = true
+	}
+	for i, seen := range seenShard {
+		if !seen {
+			return nil, fmt.Errorf("experiments: merge %s: shard %d/%d missing", id, i, count)
+		}
+	}
+
+	fig := def.newFigure()
+	for ui, u := range def.units {
+		g := u.grid(cfg)
+		full := make([]Cell, g.Size())
+		filled := make([]bool, g.Size())
+		for _, p := range parts {
+			for _, c := range p.Units[ui] {
+				if c.Index < 0 || c.Index >= g.Size() {
+					return nil, fmt.Errorf("experiments: merge %s: unit %d cell index %d out of range [0, %d)",
+						id, ui, c.Index, g.Size())
+				}
+				if filled[c.Index] {
+					return nil, fmt.Errorf("experiments: merge %s: unit %d cell %d supplied twice", id, ui, c.Index)
+				}
+				filled[c.Index] = true
+				full[c.Index] = c
+			}
+		}
+		for i, ok := range filled {
+			if !ok {
+				return nil, fmt.Errorf("experiments: merge %s: unit %d cell %d missing", id, ui, i)
+			}
+		}
+		fig.Series = append(fig.Series, u.fold(g, full)...)
+	}
+	return fig, nil
+}
+
+// Encode writes the shard cells as a line-oriented text artifact. Costs
+// round-trip exactly (strconv 'g' with precision -1), so a merged
+// figure is byte-identical to an in-memory one.
+func (sc *ShardCells) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	sh := sc.Shard.normalized()
+	fmt.Fprintf(bw, "# %s fig=%s shard=%d/%d seeds=%d baseseed=%d units=%d\n",
+		cellsSchema, sc.FigID, sh.Index, sh.Count, sc.Seeds, sc.BaseSeed, len(sc.Units))
+	fmt.Fprintf(bw, "# unit index seed ok cost procs\n")
+	for ui, cells := range sc.Units {
+		for i := range cells {
+			c := &cells[i]
+			ok := 0
+			if c.Err == nil {
+				ok = 1
+			}
+			fmt.Fprintf(bw, "%d %d %d %d %s %d\n", ui, c.Index, c.Seed, ok,
+				strconv.FormatFloat(c.Cost, 'g', -1, 64), c.Procs)
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeShardCells parses an Encode artifact. Only the fields the
+// figure folds consume survive the round trip: index, seed,
+// feasibility, cost and processor count (infeasible cells carry the
+// errCellInfeasible sentinel).
+func DecodeShardCells(r io.Reader) (*ShardCells, error) {
+	sc := &ShardCells{}
+	scanner := bufio.NewScanner(r)
+	if !scanner.Scan() {
+		return nil, fmt.Errorf("experiments: empty cells artifact")
+	}
+	header := scanner.Text()
+	var units int
+	if _, err := fmt.Sscanf(header, "# "+cellsSchema+" fig=%s shard=%d/%d seeds=%d baseseed=%d units=%d",
+		&sc.FigID, &sc.Shard.Index, &sc.Shard.Count, &sc.Seeds, &sc.BaseSeed, &units); err != nil {
+		return nil, fmt.Errorf("experiments: bad cells header %q (want %s): %v", header, cellsSchema, err)
+	}
+	if err := sc.Shard.validate(); err != nil {
+		return nil, fmt.Errorf("experiments: bad cells header %q: %w", header, err)
+	}
+	if units < 0 || units > 64 {
+		return nil, fmt.Errorf("experiments: implausible unit count %d", units)
+	}
+	sc.Units = make([][]Cell, units)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 6 {
+			return nil, fmt.Errorf("experiments: bad cells line %q", line)
+		}
+		ui, err1 := strconv.Atoi(f[0])
+		idx, err2 := strconv.Atoi(f[1])
+		seed, err3 := strconv.ParseInt(f[2], 10, 64)
+		ok, err4 := strconv.Atoi(f[3])
+		cost, err5 := strconv.ParseFloat(f[4], 64)
+		procs, err6 := strconv.Atoi(f[5])
+		if err := errors.Join(err1, err2, err3, err4, err5, err6); err != nil {
+			return nil, fmt.Errorf("experiments: bad cells line %q: %v", line, err)
+		}
+		if ui < 0 || ui >= units {
+			return nil, fmt.Errorf("experiments: cells line %q references unit %d of %d", line, ui, units)
+		}
+		c := Cell{Index: idx, Seed: seed, Cost: cost, Procs: procs}
+		if ok == 0 {
+			c.Err = errCellInfeasible
+		}
+		sc.Units[ui] = append(sc.Units[ui], c)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}

@@ -11,7 +11,6 @@ import (
 	"repro/internal/heuristics"
 	"repro/internal/ilp"
 	"repro/internal/instance"
-	"repro/internal/par"
 	"repro/internal/platform"
 	"repro/internal/stream"
 )
@@ -162,9 +161,10 @@ func cellOrDash(sum float64, count int) string {
 	return fmt.Sprintf("%.2f", sum/float64(count))
 }
 
-// ThroughputValidation runs experiment V1: every heuristic mapping is
-// executed by the stream engine and its measured steady-state throughput
-// compared against the QoS target rho.
+// ThroughputValidation runs experiment V1 on the sweep Grid's
+// verification column: every heuristic mapping is executed by the
+// stream engine and its measured steady-state throughput compared
+// against the QoS target rho.
 func ThroughputValidation(cfg Config) *Table {
 	cfg = cfg.withDefaults()
 	t := &Table{
@@ -173,58 +173,52 @@ func ThroughputValidation(cfg Config) *Table {
 		Headers: []string{"N", "heuristic", "feasible", "min measured", "min analytic",
 			"meets rho"},
 	}
-	ns := []int{10, 20, 40}
-	hs := heuristics.All()
-	// Fan the (N, heuristic, seed) grid across workers: each item solves
-	// and simulates independently, the reduction below folds the cells
-	// back in grid order so the table is identical at any worker count.
-	type cell struct {
-		feasible bool
-		simErr   bool
-		rep      stream.Report
-		rho      float64
+	ns := []float64{10, 20, 40}
+	var hs []string
+	for _, h := range heuristics.All() {
+		hs = append(hs, h.Name())
 	}
-	cells := make([]cell, len(ns)*len(hs)*cfg.Seeds)
-	ctxs := sweepCtxs(cfg.Workers, len(cells))
-	par.ForEachWorker(context.Background(), cfg.Workers, len(cells), func(w, idx int) {
-		c := &ctxs[w]
-		n := ns[idx/(len(hs)*cfg.Seeds)]
-		h := hs[(idx/cfg.Seeds)%len(hs)]
-		seed := cfg.BaseSeed + int64(idx%cfg.Seeds)
-		in := c.gen.Generate(instance.Config{NumOps: n, Alpha: 1.1}, seed)
-		res, err := c.sc.Solve(in, h, heuristics.Options{Seed: seed})
-		if err != nil {
-			return
-		}
-		rep, err := c.runner.Simulate(res.Mapping, stream.Options{Results: 80})
-		cells[idx] = cell{feasible: true, simErr: err != nil, rep: rep, rho: in.Rho}
-	})
+	g := &Grid{
+		Heuristics: hs,
+		Xs:         ns,
+		Seeds:      cfg.Seeds,
+		BaseSeed:   cfg.BaseSeed,
+		Workers:    cfg.Workers,
+		Make: MakeInstances(func(x float64) instance.Config {
+			return instance.Config{NumOps: int(x), Alpha: 1.1}
+		}),
+		Verify: &stream.Options{Results: 80},
+	}
+	cells, err := g.Cells(context.Background())
+	if err != nil {
+		panic(err) // static inputs; only a programming error can land here
+	}
 	for ni, n := range ns {
-		for hi, h := range hs {
+		for hi, name := range hs {
 			minMeasured, minAnalytic := -1.0, -1.0
 			feasible := 0
 			allMeet := true
 			for s := 0; s < cfg.Seeds; s++ {
-				c := cells[(ni*len(hs)+hi)*cfg.Seeds+s]
-				if !c.feasible {
+				c := &cells[(hi*len(ns)+ni)*cfg.Seeds+s]
+				if c.Err != nil {
 					continue
 				}
 				feasible++
-				if c.simErr {
+				if c.VerifyErr != nil {
 					allMeet = false
 					continue
 				}
-				if minMeasured < 0 || c.rep.Throughput < minMeasured {
-					minMeasured = c.rep.Throughput
+				if minMeasured < 0 || c.Measured < minMeasured {
+					minMeasured = c.Measured
 				}
-				if minAnalytic < 0 || c.rep.Analytic < minAnalytic {
-					minAnalytic = c.rep.Analytic
+				if minAnalytic < 0 || c.Analytic < minAnalytic {
+					minAnalytic = c.Analytic
 				}
-				if c.rep.Throughput < 0.9*c.rho {
+				if c.Measured < 0.9*c.Rho {
 					allMeet = false
 				}
 			}
-			row := []string{fmt.Sprintf("%d", n), h.Name(), fmt.Sprintf("%d/%d", feasible, cfg.Seeds)}
+			row := []string{fmt.Sprintf("%.0f", n), name, fmt.Sprintf("%d/%d", feasible, cfg.Seeds)}
 			if feasible == 0 {
 				row = append(row, "-", "-", "-")
 			} else {

@@ -38,9 +38,12 @@ var ErrInfeasible = errors.New("no feasible mapping found")
 type Heuristic interface {
 	// Name returns the paper's name for the heuristic.
 	Name() string
-	// Place assigns every operator of the instance to purchased
-	// processors, or fails with an error wrapping ErrInfeasible.
-	Place(in *instance.Instance, r *rand.Rand) (*mapping.Mapping, error)
+	// Place assigns every operator of m.Inst to purchased processors on
+	// m — handed in empty (mapping.New or an arena Reset) — or fails
+	// with an error wrapping ErrInfeasible. Taking the mapping rather
+	// than building one lets the solve pipeline thread a caller-owned
+	// arena through repeated solves.
+	Place(m *mapping.Mapping, r *rand.Rand) error
 }
 
 // All returns the six paper heuristics in the order of the paper's plots.
@@ -55,12 +58,18 @@ func All() []Heuristic {
 	}
 }
 
-// ByName returns the heuristic with the given Name.
+// ByName returns the heuristic with the given Name. Besides the six
+// paper heuristics it recognizes the repository's A3 ablation variant
+// "Subtree-bottom-up-nofold", so name-keyed surfaces (the public sweep
+// Grid, CLIs) can address every heuristic the experiment harness plots.
 func ByName(name string) (Heuristic, error) {
 	for _, h := range All() {
 		if h.Name() == name {
 			return h, nil
 		}
+	}
+	if nofold := (SubtreeBottomUp{DisableFold: true}); name == nofold.Name() {
+		return nofold, nil
 	}
 	return nil, fmt.Errorf("heuristics: unknown heuristic %q", name)
 }
@@ -92,15 +101,32 @@ type Result struct {
 }
 
 // SolveContext owns the reusable scratch threaded through repeated Solve
-// calls — today the server-selection Selector; tomorrow any other
-// per-solve state worth recycling. A SolveContext is not safe for
-// concurrent use: sweep engines hold one per worker.
+// calls: the server-selection Selector and, when the caller opts in with
+// SetReuse, an arena Mapping, a recycled Result and reseedable random
+// streams. A SolveContext is not safe for concurrent use: sweep engines
+// hold one per worker.
 type SolveContext struct {
 	sel Selector
+
+	// Caller-owned arena (SetReuse(true)): repeated solves rebuild the
+	// mapping in place instead of allocating a fresh one per call.
+	reuse        bool
+	arena        mapping.Mapping
+	res          Result
+	prand, srand *rand.Rand // placement / selection streams, reseeded per solve
 }
 
 // NewSolveContext returns an empty reusable solve context.
 func NewSolveContext() *SolveContext { return &SolveContext{} }
+
+// SetReuse switches the context onto its caller-owned mapping arena.
+// With reuse on, Solve rebuilds one arena Mapping in place
+// (mapping.Reset) and returns a context-owned Result — both are valid
+// only until the next Solve on this context, so callers that keep a
+// mapping must Clone it. Solutions are bit-for-bit identical to the
+// allocating path; only the storage ownership changes. The package-level
+// Solve never enables reuse: its results escape to unknown callers.
+func (c *SolveContext) SetReuse(on bool) { c.reuse = on }
 
 // solveCtxPool backs the package-level Solve so one-shot callers reuse
 // scratch across calls too (the same trick stream.Simulate plays with
@@ -116,14 +142,29 @@ func Solve(in *instance.Instance, h Heuristic, opts Options) (*Result, error) {
 	return res, err
 }
 
-// Solve runs the full pipeline on the context's reusable scratch.
+// Solve runs the full pipeline on the context's reusable scratch. With
+// SetReuse(true) the mapping is built in the context's arena and the
+// returned Result is context-owned (valid until the next Solve); the
+// solution itself is identical either way.
 func (c *SolveContext) Solve(in *instance.Instance, h Heuristic, opts Options) (*Result, error) {
 	if err := Precheck(in); err != nil {
 		return nil, err
 	}
-	r := rng.Derive(opts.Seed, "heuristic:"+h.Name())
-	m, err := h.Place(in, r)
-	if err != nil {
+	var m *mapping.Mapping
+	var r *rand.Rand
+	if c.reuse {
+		m = &c.arena
+		m.Reset(in)
+		if c.prand == nil {
+			c.prand, c.srand = rng.New(0), rng.New(0)
+		}
+		rng.Reseed2(c.prand, opts.Seed, "heuristic:", h.Name())
+		r = c.prand
+	} else {
+		m = mapping.New(in)
+		r = rng.Derive(opts.Seed, "heuristic:"+h.Name())
+	}
+	if err := h.Place(m, r); err != nil {
 		return nil, fmt.Errorf("%s placement: %w", h.Name(), err)
 	}
 	if !m.Complete() {
@@ -136,9 +177,16 @@ func (c *SolveContext) Solve(in *instance.Instance, h Heuristic, opts Options) (
 		// The paper pairs the Random placement with random selection.
 		selection = SelectRandom
 	}
+	var err error
 	switch selection {
 	case SelectRandom:
-		err = c.sel.Random(m, rng.Derive(opts.Seed, "selection:"+h.Name()))
+		sr := c.srand
+		if c.reuse {
+			rng.Reseed2(sr, opts.Seed, "selection:", h.Name())
+		} else {
+			sr = rng.Derive(opts.Seed, "selection:"+h.Name())
+		}
+		err = c.sel.Random(m, sr)
 	default:
 		err = c.sel.ThreeLoop(m)
 	}
@@ -155,12 +203,17 @@ func (c *SolveContext) Solve(in *instance.Instance, h Heuristic, opts Options) (
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("%s produced an invalid mapping: %v", h.Name(), err)
 	}
-	return &Result{
+	res := &Result{}
+	if c.reuse {
+		res = &c.res
+	}
+	*res = Result{
 		Heuristic: h.Name(),
 		Mapping:   m,
 		Cost:      m.Cost(),
 		Procs:     m.NumAlive(),
-	}, nil
+	}
+	return res, nil
 }
 
 // Precheck fails fast on instances no allocation can satisfy: an operator

@@ -243,3 +243,81 @@ func TestSingleOperatorTree(t *testing.T) {
 		}
 	}
 }
+
+// TestSolveContextReuseEquivalence proves the caller-owned mapping
+// arena changes storage ownership only: for every heuristic and a
+// spread of instances, a SetReuse(true) context produces bit-identical
+// solutions (cost, processor count, assignment, download tables) to the
+// allocating path.
+func TestSolveContextReuseEquivalence(t *testing.T) {
+	reused := NewSolveContext()
+	reused.SetReuse(true)
+	hs := append(All(), SubtreeBottomUp{DisableFold: true})
+	for _, n := range []int{1, 5, 20, 60} {
+		for seed := int64(1); seed <= 3; seed++ {
+			in := instance.Generate(instance.Config{NumOps: n, Alpha: 0.9}, seed)
+			for _, h := range hs {
+				want, errA := Solve(in, h, Options{Seed: seed})
+				got, errB := reused.Solve(in, h, Options{Seed: seed})
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("%s N=%d seed=%d: fresh err=%v, reused err=%v", h.Name(), n, seed, errA, errB)
+				}
+				if errA != nil {
+					continue
+				}
+				if want.Cost != got.Cost || want.Procs != got.Procs {
+					t.Fatalf("%s N=%d seed=%d: fresh (%v, %d) != reused (%v, %d)",
+						h.Name(), n, seed, want.Cost, want.Procs, got.Cost, got.Procs)
+				}
+				for op := range want.Mapping.Assign {
+					pw, pg := want.Mapping.Assign[op], got.Mapping.Assign[op]
+					if (pw == -1) != (pg == -1) {
+						t.Fatalf("%s N=%d seed=%d: op %d assignment differs", h.Name(), n, seed, op)
+					}
+				}
+				if len(want.Mapping.Procs) != len(got.Mapping.Procs) {
+					t.Fatalf("%s N=%d seed=%d: proc lists differ in length", h.Name(), n, seed)
+				}
+				for p := range want.Mapping.Procs {
+					if want.Mapping.Procs[p] != got.Mapping.Procs[p] {
+						t.Fatalf("%s N=%d seed=%d: proc %d differs", h.Name(), n, seed, p)
+					}
+					dw, dg := want.Mapping.DL[p], got.Mapping.DL[p]
+					if len(dw) != len(dg) {
+						t.Fatalf("%s N=%d seed=%d: proc %d download tables differ", h.Name(), n, seed, p)
+					}
+					for k, l := range dw {
+						if dg[k] != l {
+							t.Fatalf("%s N=%d seed=%d: proc %d object %d server %d != %d",
+								h.Name(), n, seed, p, k, l, dg[k])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveContextReuseAllocs pins the arena's effect: repeated
+// Subtree-bottom-up solves through a reused context allocate only the
+// handful of per-call tree traversals (ALOperators/BottomUp), never a
+// mapping, download table, rng or Result.
+func TestSolveContextReuseAllocs(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 60, Alpha: 0.9}, 1)
+	c := NewSolveContext()
+	c.SetReuse(true)
+	if _, err := c.Solve(in, SubtreeBottomUp{}, Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := c.Solve(in, SubtreeBottomUp{}, Options{Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The two tree traversals in place_subtree are the only remaining
+	// per-solve allocations; anything above this bound means the arena
+	// sprang a leak.
+	if allocs > 6 {
+		t.Fatalf("reused SolveContext allocates %.1f allocs/op, want <= 6", allocs)
+	}
+}

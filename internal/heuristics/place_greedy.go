@@ -21,8 +21,8 @@ type CompGreedy struct{}
 func (CompGreedy) Name() string { return "Comp-Greedy" }
 
 // Place implements Heuristic.
-func (CompGreedy) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mapping, error) {
-	m := mapping.New(in)
+func (CompGreedy) Place(m *mapping.Mapping, _ *rand.Rand) error {
+	in := m.Inst
 	order := opsByWorkDesc(in)
 	for {
 		seed := -1
@@ -33,11 +33,11 @@ func (CompGreedy) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mapping, 
 			}
 		}
 		if seed < 0 {
-			return m, nil
+			return nil
 		}
 		p := buyMostExpensive(m)
 		if err := placeWithGrouping(m, p, seed); err != nil {
-			return nil, err
+			return err
 		}
 		for _, op := range order {
 			if m.OpProc(op) == mapping.Unassigned {
@@ -74,8 +74,8 @@ type CommGreedy struct{}
 func (CommGreedy) Name() string { return "Comm-Greedy" }
 
 // Place implements Heuristic.
-func (CommGreedy) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mapping, error) {
-	m := mapping.New(in)
+func (CommGreedy) Place(m *mapping.Mapping, _ *rand.Rand) error {
+	in := m.Inst
 	configs := configsByCost(in.Platform.Catalog)
 
 	buyCheapestFor := func(ops ...int) bool {
@@ -108,10 +108,10 @@ func (CommGreedy) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mapping, 
 				continue
 			}
 			if err := buyBestFor(e.Parent); err != nil {
-				return nil, err
+				return err
 			}
 			if err := buyBestFor(e.Child); err != nil {
-				return nil, err
+				return err
 			}
 		case pu == mapping.Unassigned || pv == mapping.Unassigned:
 			// (ii) one assigned: try to accommodate the other on the same
@@ -124,7 +124,7 @@ func (CommGreedy) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mapping, 
 				continue
 			}
 			if err := buyBestFor(other); err != nil {
-				return nil, err
+				return err
 			}
 		case pu != pv:
 			// (iii) both assigned on different processors: try to merge
@@ -139,9 +139,9 @@ func (CommGreedy) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mapping, 
 	for op := range in.Tree.Ops {
 		if m.OpProc(op) == mapping.Unassigned {
 			if !buyCheapestFor(op) {
-				return nil, fmt.Errorf("operator %d fits no processor: %w", op, ErrInfeasible)
+				return fmt.Errorf("operator %d fits no processor: %w", op, ErrInfeasible)
 			}
 		}
 	}
-	return m, nil
+	return nil
 }

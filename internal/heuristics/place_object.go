@@ -5,7 +5,6 @@ import (
 	"math/rand"
 	"sort"
 
-	"repro/internal/instance"
 	"repro/internal/mapping"
 )
 
@@ -20,8 +19,8 @@ type ObjectGrouping struct{}
 func (ObjectGrouping) Name() string { return "Object-Grouping" }
 
 // Place implements Heuristic.
-func (ObjectGrouping) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mapping, error) {
-	m := mapping.New(in)
+func (ObjectGrouping) Place(m *mapping.Mapping, _ *rand.Rand) error {
+	in := m.Inst
 	pop := in.Tree.Popularity(in.NumTypes)
 
 	alOrder := in.Tree.ALOperators()
@@ -55,7 +54,7 @@ func (ObjectGrouping) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mappi
 		}
 		p := buyMostExpensive(m)
 		if err := placeWithGrouping(m, p, seed); err != nil {
-			return nil, fmt.Errorf("al-operator %d: %w", seed, err)
+			return fmt.Errorf("al-operator %d: %w", seed, err)
 		}
 		var seedBuf, opBuf [2]int
 		seedObjs := in.Tree.LeafObjectsBuf(seed, &seedBuf)
@@ -96,11 +95,11 @@ func (ObjectGrouping) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mappi
 			}
 		}
 		if seed < 0 {
-			return m, nil
+			return nil
 		}
 		p := buyMostExpensive(m)
 		if err := placeWithGrouping(m, p, seed); err != nil {
-			return nil, err
+			return err
 		}
 		for _, op := range nonAL {
 			if m.OpProc(op) == mapping.Unassigned {
@@ -122,8 +121,8 @@ type ObjectAvailability struct{}
 func (ObjectAvailability) Name() string { return "Object-Availability" }
 
 // Place implements Heuristic.
-func (ObjectAvailability) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mapping, error) {
-	m := mapping.New(in)
+func (ObjectAvailability) Place(m *mapping.Mapping, _ *rand.Rand) error {
+	in := m.Inst
 
 	objs := in.Tree.ObjectSet()
 	sort.Slice(objs, func(a, b int) bool {
@@ -168,7 +167,7 @@ func (ObjectAvailability) Place(in *instance.Instance, _ *rand.Rand) (*mapping.M
 				// The whole batch failed on a fresh processor; fall back
 				// to the grouping technique for the first operator.
 				if err := placeWithGrouping(m, p, pending[0]); err != nil {
-					return nil, fmt.Errorf("al-operator %d (object %d): %w", pending[0], k, err)
+					return fmt.Errorf("al-operator %d (object %d): %w", pending[0], k, err)
 				}
 			}
 		}
@@ -185,7 +184,7 @@ func (ObjectAvailability) Place(in *instance.Instance, _ *rand.Rand) (*mapping.M
 			}
 		}
 		if seed < 0 {
-			return m, nil
+			return nil
 		}
 		// First try to pack onto an existing processor (the one with which
 		// the operator communicates most, then any other).
@@ -194,7 +193,7 @@ func (ObjectAvailability) Place(in *instance.Instance, _ *rand.Rand) (*mapping.M
 		}
 		p := buyMostExpensive(m)
 		if err := placeWithGrouping(m, p, seed); err != nil {
-			return nil, err
+			return err
 		}
 	}
 }

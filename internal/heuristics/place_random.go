@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/instance"
 	"repro/internal/mapping"
 )
 
@@ -20,8 +19,8 @@ type Random struct{}
 func (Random) Name() string { return "Random" }
 
 // Place implements Heuristic.
-func (Random) Place(in *instance.Instance, r *rand.Rand) (*mapping.Mapping, error) {
-	m := mapping.New(in)
+func (Random) Place(m *mapping.Mapping, r *rand.Rand) error {
+	in := m.Inst
 	configs := configsByCost(in.Platform.Catalog)
 
 	var rest []int // reused across rounds; refilled before each draw
@@ -42,7 +41,7 @@ func (Random) Place(in *instance.Instance, r *rand.Rand) (*mapping.Mapping, erro
 	for {
 		pending := unassigned()
 		if len(pending) == 0 {
-			return m, nil
+			return nil
 		}
 		op := pending[r.Intn(len(pending))]
 		if buyCheapestFor(op) {
@@ -52,7 +51,7 @@ func (Random) Place(in *instance.Instance, r *rand.Rand) (*mapping.Mapping, erro
 		var nbBuf [3]neighbour
 		nbs := neighbours(in, op, &nbBuf)
 		if len(nbs) == 0 {
-			return nil, fmt.Errorf("operator %d fits no processor: %w", op, ErrInfeasible)
+			return fmt.Errorf("operator %d fits no processor: %w", op, ErrInfeasible)
 		}
 		nb := nbs[0]
 		was := m.OpProc(nb.op)
@@ -66,6 +65,6 @@ func (Random) Place(in *instance.Instance, r *rand.Rand) (*mapping.Mapping, erro
 			}
 			m.Place(nb.op, was)
 		}
-		return nil, fmt.Errorf("operators %d+%d fit no processor together: %w", op, nb.op, ErrInfeasible)
+		return fmt.Errorf("operators %d+%d fit no processor together: %w", op, nb.op, ErrInfeasible)
 	}
 }

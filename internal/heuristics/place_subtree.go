@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"repro/internal/instance"
 	"repro/internal/mapping"
 )
 
@@ -32,8 +31,8 @@ func (h SubtreeBottomUp) Name() string {
 }
 
 // Place implements Heuristic.
-func (h SubtreeBottomUp) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Mapping, error) {
-	m := mapping.New(in)
+func (h SubtreeBottomUp) Place(m *mapping.Mapping, _ *rand.Rand) error {
+	in := m.Inst
 
 	// Step 1: one most-expensive processor per al-operator. When an
 	// al-operator is adjacent to an already-placed one and the shared edge
@@ -41,7 +40,7 @@ func (h SubtreeBottomUp) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Ma
 	for _, op := range in.Tree.ALOperators() {
 		p := buyMostExpensive(m)
 		if err := placeWithGrouping(m, p, op); err != nil {
-			return nil, fmt.Errorf("al-operator %d: %w", op, err)
+			return fmt.Errorf("al-operator %d: %w", op, err)
 		}
 	}
 
@@ -96,14 +95,14 @@ func (h SubtreeBottomUp) Place(in *instance.Instance, _ *rand.Rand) (*mapping.Ma
 			p := buyMostExpensive(m)
 			if !m.TryPlace(p, op) {
 				m.Sell(p)
-				return nil, fmt.Errorf("operator %d fits no processor: %w", op, ErrInfeasible)
+				return fmt.Errorf("operator %d fits no processor: %w", op, ErrInfeasible)
 			}
 		}
 		if !h.DisableFold {
 			mergeChildren(m, op)
 		}
 	}
-	return m, nil
+	return nil
 }
 
 // mergeChildren tries to fold the processors hosting op's operator

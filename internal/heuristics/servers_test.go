@@ -193,8 +193,8 @@ func placedMapping(in *instance.Instance, h Heuristic, seed int64) *mapping.Mapp
 	if Precheck(in) != nil {
 		return nil
 	}
-	m, err := h.Place(in, rng.Derive(seed, "heuristic:"+h.Name()))
-	if err != nil || !m.Complete() {
+	m := mapping.New(in)
+	if err := h.Place(m, rng.Derive(seed, "heuristic:"+h.Name())); err != nil || !m.Complete() {
 		return nil
 	}
 	sellEmpty(m)

@@ -50,7 +50,8 @@ type Mapping struct {
 	Assign []int         // operator -> processor index, or Unassigned
 	DL     []map[int]int // per processor: object type -> chosen server (NoServer until selected)
 
-	scr *scratch // lazily-allocated reusable buffers, never shared via Clone
+	scr    *scratch      // lazily-allocated reusable buffers, never shared via Clone
+	dlFree []map[int]int // cleared download tables recycled across Reset cycles
 }
 
 // scratch holds the reusable buffers behind the hot constraint checks.
@@ -88,6 +89,44 @@ func New(in *instance.Instance) *Mapping {
 	return m
 }
 
+// Reset rebinds m to in as an empty mapping, recycling every piece of
+// storage a previous construction left behind: the processor and
+// assignment vectors keep their capacity, the per-processor download
+// tables are cleared onto an internal freelist that Buy/PresizeDL drain
+// before calling make, and the constraint-check scratch survives as-is.
+// A Reset mapping is indistinguishable from New(in) to every method;
+// steady-state sweep solves through one arena mapping allocate nothing
+// here. Anything previously reachable from m (its old Procs, DL tables)
+// is invalidated — callers that handed those out must Clone first.
+func (m *Mapping) Reset(in *instance.Instance) {
+	m.Inst = in
+	m.Assign = xslice.Grow(m.Assign, in.Tree.NumOps())
+	for i := range m.Assign {
+		m.Assign[i] = Unassigned
+	}
+	for p := range m.DL {
+		if d := m.DL[p]; d != nil {
+			clear(d)
+			m.dlFree = append(m.dlFree, d)
+			m.DL[p] = nil
+		}
+	}
+	m.Procs = m.Procs[:0]
+	m.DL = m.DL[:0]
+}
+
+// newDL returns an empty download table with room for n entries,
+// preferring a recycled one from the Reset freelist.
+func (m *Mapping) newDL(n int) map[int]int {
+	if k := len(m.dlFree); k > 0 {
+		d := m.dlFree[k-1]
+		m.dlFree[k-1] = nil
+		m.dlFree = m.dlFree[:k-1]
+		return d
+	}
+	return make(map[int]int, n)
+}
+
 // Clone returns a deep copy; heuristics use it for tentative moves.
 func (m *Mapping) Clone() *Mapping {
 	c := &Mapping{Inst: m.Inst}
@@ -115,11 +154,15 @@ func (m *Mapping) Buy(cfg platform.Config) int {
 
 // Sell returns a processor; it must be empty.
 func (m *Mapping) Sell(p int) {
-	if n := len(m.OpsOn(p)); n != 0 {
+	if n := m.NumOpsOn(p); n != 0 {
 		panic(fmt.Sprintf("mapping: selling processor %d with %d operators", p, n))
 	}
 	m.Procs[p].Alive = false
-	m.DL[p] = nil
+	if d := m.DL[p]; d != nil {
+		clear(d)
+		m.dlFree = append(m.dlFree, d)
+		m.DL[p] = nil
+	}
 }
 
 // Place assigns operator op to processor p (which must be alive).
@@ -482,7 +525,7 @@ func (m *Mapping) MoveAll(from, to int) bool {
 // SelectServer records that processor p downloads object k from server l.
 func (m *Mapping) SelectServer(p, k, l int) {
 	if m.DL[p] == nil {
-		m.DL[p] = map[int]int{}
+		m.DL[p] = m.newDL(1)
 	}
 	m.DL[p][k] = l
 }
@@ -492,7 +535,7 @@ func (m *Mapping) SelectServer(p, k, l int) {
 // and calls this so the SelectServer writes that follow never rehash.
 func (m *Mapping) PresizeDL(p, n int) {
 	if m.DL[p] == nil && n > 0 {
-		m.DL[p] = make(map[int]int, n)
+		m.DL[p] = m.newDL(n)
 	}
 }
 

@@ -376,3 +376,61 @@ func TestGeneratedInstanceSingleProcessor(t *testing.T) {
 		t.Fatalf("generated instance mapping invalid: %v", err)
 	}
 }
+
+// TestResetMatchesNew pins the arena contract: a Reset mapping is
+// indistinguishable from a fresh New one — across instances of
+// different sizes — and recycles its download tables instead of
+// reallocating them.
+func TestResetMatchesNew(t *testing.T) {
+	arena := New(instance.Generate(instance.Config{NumOps: 9, Alpha: 0.9}, 7))
+	p := arena.Buy(arena.Inst.Platform.Catalog.MostExpensive())
+	arena.Place(0, p)
+	arena.SelectServer(p, 0, arena.Inst.Holders[0][0])
+
+	for _, n := range []int{4, 12, 4} {
+		in := instance.Generate(instance.Config{NumOps: n, Alpha: 0.9}, int64(n))
+		arena.Reset(in)
+		fresh := New(in)
+		if arena.Inst != in {
+			t.Fatal("Reset did not rebind the instance")
+		}
+		if len(arena.Procs) != 0 || len(arena.DL) != 0 {
+			t.Fatalf("Reset left %d procs, %d DL entries", len(arena.Procs), len(arena.DL))
+		}
+		if len(arena.Assign) != len(fresh.Assign) {
+			t.Fatalf("Assign length %d, want %d", len(arena.Assign), len(fresh.Assign))
+		}
+		for op, q := range arena.Assign {
+			if q != Unassigned {
+				t.Fatalf("op %d not unassigned after Reset", op)
+			}
+		}
+		// The recycled mapping must behave exactly like a fresh one.
+		q := arena.Buy(in.Platform.Catalog.MostExpensive())
+		arena.SelectServer(q, 0, in.Holders[0][0])
+		if len(arena.DL[q]) != 1 || arena.DL[q][0] != in.Holders[0][0] {
+			t.Fatalf("recycled DL table carries stale state: %v", arena.DL[q])
+		}
+	}
+}
+
+// TestResetSteadyStateAllocs pins the arena: after warm-up, a
+// Reset/Buy/Place/SelectServer cycle allocates nothing.
+func TestResetSteadyStateAllocs(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 20, Alpha: 0.9}, 1)
+	m := New(in)
+	cycle := func() {
+		m.Reset(in)
+		p := m.Buy(in.Platform.Catalog.MostExpensive())
+		m.Place(0, p)
+		m.PresizeDL(p, 2)
+		m.SelectServer(p, 0, in.Holders[0][0])
+		if err := m.ProcFeasible(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(50, cycle); allocs > 0 {
+		t.Fatalf("steady-state Reset cycle allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -71,6 +71,39 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
 	return ForEachWorker(ctx, workers, n, func(_, i int) { fn(i) })
 }
 
+// ForEachOrdered is ForEachWorker plus deterministic streaming: after
+// fn(w, i) completes, emit(i) is called for every finished item in
+// strictly increasing index order — item i is emitted only once items
+// 0..i-1 have been emitted, no matter which workers finished first, so a
+// consumer observes the exact sequence a serial run would produce while
+// the work itself fans out. Emission runs on whichever worker completed
+// the gap item, one emit at a time under an internal lock; emit must not
+// block on the pool's own items. On cancellation the already-complete
+// prefix may be emitted, the rest never is, and the ctx error is
+// returned.
+func ForEachOrdered(ctx context.Context, workers, n int, fn func(worker, i int), emit func(i int)) error {
+	if Workers(workers, n) == 1 {
+		// Serial path: emit inline, no bookkeeping.
+		return ForEachWorker(ctx, workers, n, func(w, i int) {
+			fn(w, i)
+			emit(i)
+		})
+	}
+	var mu sync.Mutex
+	next := 0
+	ready := make([]bool, n)
+	return ForEachWorker(ctx, workers, n, func(w, i int) {
+		fn(w, i)
+		mu.Lock()
+		ready[i] = true
+		for next < n && ready[next] {
+			emit(next)
+			next++
+		}
+		mu.Unlock()
+	})
+}
+
 // ForEachWorker is ForEach with worker identity: fn(w, i) runs item i on
 // worker w in [0, Workers(workers, n)). All of one worker's items run
 // sequentially on one goroutine, so callers thread per-worker reusable

@@ -3,6 +3,7 @@ package par
 import (
 	"context"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -126,6 +127,68 @@ func TestForEachWorkerIdentity(t *testing.T) {
 			if o == 0 {
 				t.Fatalf("item %d never ran", i)
 			}
+		}
+	}
+}
+
+// TestForEachOrderedStreamsInOrder drives the ordered variant hard: at
+// every worker count the emit sequence must be exactly 0..n-1 even
+// though workers finish out of order.
+func TestForEachOrderedStreamsInOrder(t *testing.T) {
+	const n = 500
+	for _, workers := range []int{1, 2, 4, 8} {
+		var mu sync.Mutex
+		emitted := make([]int, 0, n)
+		results := make([]int, n)
+		err := ForEachOrdered(context.Background(), workers, n, func(w, i int) {
+			if i%7 == 0 {
+				time.Sleep(time.Microsecond) // jitter completion order
+			}
+			results[i] = i * i
+		}, func(i int) {
+			mu.Lock()
+			emitted = append(emitted, i)
+			mu.Unlock()
+			if results[i] != i*i {
+				t.Errorf("emit %d before fn completed", i)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(emitted) != n {
+			t.Fatalf("workers=%d: emitted %d of %d", workers, len(emitted), n)
+		}
+		for i, v := range emitted {
+			if v != i {
+				t.Fatalf("workers=%d: emit position %d got index %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestForEachOrderedCancellation: a cancelled ordered run emits at most
+// a prefix, never an out-of-order or post-cancel suffix, and returns
+// the context error.
+func TestForEachOrderedCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	var emitted []int
+	err := ForEachOrdered(ctx, 4, 200, func(w, i int) {
+		if i == 20 {
+			cancel()
+		}
+	}, func(i int) {
+		mu.Lock()
+		emitted = append(emitted, i)
+		mu.Unlock()
+	})
+	if err == nil {
+		t.Fatal("want context error")
+	}
+	for i, v := range emitted {
+		if v != i {
+			t.Fatalf("cancelled run emitted non-prefix: position %d got %d", i, v)
 		}
 	}
 }

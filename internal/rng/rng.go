@@ -33,6 +33,22 @@ func SeedFor(seed int64, label string) int64 {
 	return int64(SplitMix64(h))
 }
 
+// SeedFor2 is SeedFor over the concatenation a+b without materializing
+// it: the hash consumes the bytes of a then the bytes of b, so
+// SeedFor2(s, a, b) == SeedFor(s, a+b) for all inputs. Hot paths that
+// build labels like "heuristic:"+name per call use it to keep seed
+// derivation allocation-free.
+func SeedFor2(seed int64, a, b string) int64 {
+	h := uint64(seed)
+	for _, c := range []byte(a) {
+		h = SplitMix64(h ^ uint64(c))
+	}
+	for _, c := range []byte(b) {
+		h = SplitMix64(h ^ uint64(c))
+	}
+	return int64(SplitMix64(h))
+}
+
 // Derive returns a new seeded *rand.Rand whose stream is a deterministic
 // function of (seed, label). Distinct labels give decorrelated streams.
 func Derive(seed int64, label string) *rand.Rand {
@@ -45,6 +61,13 @@ func Derive(seed int64, label string) *rand.Rand {
 // Reseed them per seed.
 func Reseed(r *rand.Rand, seed int64, label string) {
 	r.Seed(SeedFor(seed, label))
+}
+
+// Reseed2 is Reseed with the label split as in SeedFor2:
+// Reseed2(r, s, a, b) rewinds r to the stream of Derive(s, a+b) without
+// concatenating the label.
+func Reseed2(r *rand.Rand, seed int64, a, b string) {
+	r.Seed(SeedFor2(seed, a, b))
 }
 
 // New returns a seeded *rand.Rand.

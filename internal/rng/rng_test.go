@@ -158,3 +158,24 @@ func TestPickDistinctIntoMatchesPickDistinct(t *testing.T) {
 		}
 	}
 }
+
+// TestSeedFor2MatchesConcat pins the split-label derivation to the
+// canonical one: SeedFor2(s, a, b) must equal SeedFor(s, a+b) for any
+// split, so the allocation-free hot path cannot drift from the
+// documented scheme.
+func TestSeedFor2MatchesConcat(t *testing.T) {
+	cases := []struct{ a, b string }{
+		{"heuristic:", "Subtree-bottom-up"},
+		{"selection:", "Random"},
+		{"", "whole"},
+		{"whole", ""},
+		{"", ""},
+	}
+	for _, seed := range []int64{0, 1, -7, 1 << 40} {
+		for _, c := range cases {
+			if got, want := SeedFor2(seed, c.a, c.b), SeedFor(seed, c.a+c.b); got != want {
+				t.Fatalf("SeedFor2(%d, %q, %q) = %d, want %d", seed, c.a, c.b, got, want)
+			}
+		}
+	}
+}

@@ -27,7 +27,12 @@
 //     for small homogeneous instances,
 //   - a discrete-event stream engine that executes mappings and measures
 //     the throughput they sustain,
-//   - the experiment harness that regenerates every figure and table.
+//   - a first-class sweep subsystem (Grid, see sweep.go): streaming
+//     cells in deterministic order, exact Shard partitioning across
+//     machines, an opt-in per-cell verification column, and multi-tenant
+//     workloads via Combine,
+//   - the experiment harness that regenerates every figure and table on
+//     that same engine.
 package streamalloc
 
 import (
@@ -153,6 +158,9 @@ func MaxThroughput(m *Mapping) float64 { return stream.AnalyticMaxThroughput(m) 
 // mapping" rather than misuse.
 func IsInfeasible(err error) bool { return core.IsInfeasible(err) }
 
-// NewRand returns a seeded math/rand generator; exported for examples that
-// build custom workloads deterministically.
+// NewRand returns a seeded math/rand generator. It exists for examples
+// and ad-hoc workload construction only: library code and anything that
+// must shard or parallelize derives plain per-item seeds with SeedFor
+// instead, so no *rand.Rand ever crosses a goroutine or machine
+// boundary.
 func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
