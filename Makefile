@@ -1,14 +1,14 @@
 # CI and humans invoke identical commands: .github/workflows/ci.yml runs
-# `make lint build test race bench sweep-smoke` in the main job, `make
-# vuln` for the vulnerability scan, and `make bench-json bench-compare`
-# in the bench-compare job — and nothing else.
+# `make lint build test race bench sweep-smoke docs-check` in the main
+# job, `make vuln` for the vulnerability scan, and `make bench-json
+# bench-compare` in the bench-compare job — and nothing else.
 
 GO ?= go
 
 # Steadier perf numbers: every bench entry runs 3x its base iterations.
 BENCH_ITERS_SCALE ?= 3
 
-.PHONY: build test race bench bench-json bench-compare bench-baseline fmt lint vuln ci sweep-smoke
+.PHONY: build test race bench bench-json bench-compare bench-baseline fmt lint vuln ci sweep-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,30 @@ sweep-smoke:
 	@echo "sweep-smoke: sharded merge byte-identical to the unsharded run"
 	rm -rf $(SWEEP_SMOKE_DIR)
 
+# Documentation gate: every non-main package must carry a "// Package
+# <name> ..." godoc comment, and every local link in README.md and
+# docs/*.md must point at an existing file. Links resolve relative to
+# the file containing them (as GitHub renders them); external URLs,
+# bare anchors and links escaping the repo (the GitHub-web-relative CI
+# badge) are skipped.
+docs-check:
+	@fail=0; \
+	for pkg in $$($(GO) list -f '{{if ne .Name "main"}}{{.Dir}}:{{.Name}}{{end}}' ./...); do \
+		dir=$${pkg%%:*}; name=$${pkg##*:}; \
+		if ! grep -qs "^// Package $$name " $$dir/*.go; then \
+			echo "docs-check: package $$name ($$dir) has no package comment"; fail=1; \
+		fi; \
+	done; \
+	for f in README.md docs/*.md; do \
+		for link in $$(grep -oE '\]\([^)]+\)' $$f | sed -E 's/^\]\(//; s/\)$$//' | grep -vE '^(https?:|#)'); do \
+			path=$$(dirname $$f)/$${link%%\#*}; \
+			case $$(realpath -m --relative-to=. $$path) in ../*) continue;; esac; \
+			if [ ! -e "$$path" ]; then echo "docs-check: $$f: broken link $$link"; fail=1; fi; \
+		done; \
+	done; \
+	if [ $$fail -ne 0 ]; then exit 1; fi; \
+	echo "docs-check: OK"
+
 fmt:
 	gofmt -w .
 
@@ -68,4 +92,4 @@ lint:
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-ci: lint build test race bench sweep-smoke
+ci: lint build test race bench sweep-smoke docs-check

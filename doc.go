@@ -1,0 +1,62 @@
+// Package streamalloc is a Go reproduction of "Resource Allocation
+// Strategies for Constructive In-Network Stream Processing" (Benoit,
+// Casanova, Rehn-Sonigo, Robert — IPDPS/APDCM 2009), grown into a
+// library with a parallel solve & sweep engine.
+//
+// The library answers the paper's question: given an application that is a
+// binary tree of operators over continuously-updated basic objects, which
+// processors should be purchased from a price catalog, and how should
+// operators be mapped onto them, so that a target result throughput rho is
+// sustained at minimum platform cost?
+//
+// # Quick start
+//
+//	in := streamalloc.Generate(streamalloc.InstanceConfig{NumOps: 40, Alpha: 0.9}, 42)
+//	var solver streamalloc.Solver
+//	res, err := solver.Best(in)         // cheapest feasible mapping
+//	rep, err := streamalloc.Verify(res, streamalloc.SimOptions{}) // run it
+//
+// # Components
+//
+// The public surface re-exports the internal packages:
+//
+//   - instance generation per the paper's Section 5 methodology,
+//   - the six placement heuristics of Section 4 plus server selection and
+//     the downgrade step,
+//   - independent constraint validation (Section 2.3, equations (1)-(5)),
+//   - cost lower bounds, an exact solver and an ILP (CPLEX substitute)
+//     for small homogeneous instances,
+//   - a discrete-event stream engine that executes mappings and measures
+//     the throughput they sustain,
+//   - a first-class sweep subsystem (Grid, see sweep.go): streaming
+//     cells in deterministic order, exact Shard partitioning across
+//     machines, an opt-in per-cell verification column, and multi-tenant
+//     workloads via Combine,
+//   - the experiment harness that regenerates every figure and table on
+//     that same engine.
+//
+// See docs/ARCHITECTURE.md for the paper-section-to-package map and the
+// solve/sweep data flow.
+//
+// # Performance contract
+//
+// The solve and simulate hot paths are built for sweep workloads
+// (thousands of solves per experiment) and follow two repository-wide
+// rules:
+//
+// Determinism. Every solve is a pure function of (instance, heuristic,
+// seed): randomness flows through derived SplitMix64 substreams, sort
+// orders are total (ties break on indices), and the Mapping's
+// incrementally-maintained per-processor loads are evaluated in the same
+// canonical order a from-scratch recomputation would use — so results are
+// byte-identical at any worker count, shard partition, or scratch-reuse
+// mode.
+//
+// Scratch ownership. Reusable state (a Mapping's constraint scratch and
+// adjacency caches, a SimRunner's engine buffers, a sweep worker's
+// generator/solve-context/runner environment) is single-owner and NOT
+// safe for concurrent use; even read-only queries may write shared
+// scratch. Batch and sweep engines hand every goroutine its own
+// environment and hand out results before recycling storage. Anything a
+// caller wants to keep across the owner's next use must be cloned.
+package streamalloc

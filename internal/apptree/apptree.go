@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 	"strings"
 
@@ -73,7 +74,13 @@ func (t *Tree) ALOperators() []int {
 			n++
 		}
 	}
-	out := make([]int, 0, n)
+	return t.ALOperatorsInto(make([]int, 0, n))
+}
+
+// ALOperatorsInto is ALOperators into a reusable buffer (reset to buf[:0]
+// before filling); the placement heuristics call it once per solve.
+func (t *Tree) ALOperatorsInto(buf []int) []int {
+	out := buf[:0]
 	for i := range t.Ops {
 		if t.IsAL(i) {
 			out = append(out, i)
@@ -120,7 +127,13 @@ func (t *Tree) LeafObjectsBuf(i int, buf *[2]int) []int {
 // anywhere in the tree. One exact allocation: gather, sort, dedup in
 // place.
 func (t *Tree) ObjectSet() []int {
-	out := make([]int, 0, len(t.Leaves))
+	return t.ObjectSetInto(make([]int, 0, len(t.Leaves)))
+}
+
+// ObjectSetInto is ObjectSet into a reusable buffer: gather, sort, dedup
+// in place.
+func (t *Tree) ObjectSetInto(buf []int) []int {
+	out := buf[:0]
 	for _, l := range t.Leaves {
 		out = append(out, l.Object)
 	}
@@ -139,10 +152,19 @@ func (t *Tree) ObjectSet() []int {
 // operators need it (the paper's Object-Grouping "popularity" count).
 // An operator with two leaves of the same type counts once.
 func (t *Tree) Popularity(numTypes int) []int {
-	pop := make([]int, numTypes)
-	var buf [2]int
+	return t.PopularityInto(numTypes, make([]int, numTypes))
+}
+
+// PopularityInto is Popularity into a reusable buffer (grown to numTypes
+// and zeroed before counting).
+func (t *Tree) PopularityInto(numTypes int, buf []int) []int {
+	pop := xslice.Grow(buf, numTypes)
+	for k := range pop {
+		pop[k] = 0
+	}
+	var lbuf [2]int
 	for i := range t.Ops {
-		for _, k := range t.LeafObjectsBuf(i, &buf) {
+		for _, k := range t.LeafObjectsBuf(i, &lbuf) {
 			pop[k]++
 		}
 	}
@@ -154,8 +176,15 @@ func (t *Tree) Popularity(numTypes int) []int {
 func (t *Tree) BottomUp() []int {
 	// Iterative post-order on an explicit stack: exactly two fixed-size
 	// allocations per call instead of a recursive closure.
-	out := make([]int, 0, len(t.Ops))
-	stack := make([]int, 0, len(t.Ops))
+	order, _ := t.BottomUpInto(make([]int, 0, len(t.Ops)), make([]int, 0, len(t.Ops)))
+	return order
+}
+
+// BottomUpInto is BottomUp into reusable buffers: out receives the
+// post-order and stack backs the traversal (both grown as needed and
+// returned for the caller to reuse).
+func (t *Tree) BottomUpInto(out, stack []int) (order, stackOut []int) {
+	out, stack = out[:0], stack[:0]
 	stack = append(stack, t.Root)
 	for len(stack) > 0 {
 		i := stack[len(stack)-1]
@@ -172,7 +201,7 @@ func (t *Tree) BottomUp() []int {
 		stack = stack[:len(stack)-1]
 		out = append(out, ^i)
 	}
-	return out
+	return out, stack
 }
 
 // TopDown returns operator indices with every operator before its children.
@@ -208,19 +237,25 @@ type Edge struct {
 	Parent, Child int
 }
 
-// Edges lists all operator-operator tree edges.
+// Edges lists all operator-operator tree edges, sorted by (Parent, Child).
 func (t *Tree) Edges() []Edge {
-	var out []Edge
+	return t.EdgesInto(nil)
+}
+
+// EdgesInto is Edges into a reusable buffer. The (Parent, Child) order is
+// total, so any correct sort yields the one canonical edge list.
+func (t *Tree) EdgesInto(buf []Edge) []Edge {
+	out := buf[:0]
 	for i, op := range t.Ops {
 		for _, c := range op.ChildOps {
 			out = append(out, Edge{Parent: i, Child: c})
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Parent != out[b].Parent {
-			return out[a].Parent < out[b].Parent
+	slices.SortFunc(out, func(a, b Edge) int {
+		if a.Parent != b.Parent {
+			return a.Parent - b.Parent
 		}
-		return out[a].Child < out[b].Child
+		return a.Child - b.Child
 	})
 	return out
 }

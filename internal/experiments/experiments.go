@@ -184,10 +184,12 @@ func stdGrid(cfg Config, xs []float64, cfgOf func(x float64) instance.Config) *G
 func meanSeries(g *Grid, cells []Cell) []Series {
 	nx, ns := len(g.Xs), g.Seeds
 	series := make([]Series, len(g.Heuristics))
+	costs := make([]float64, 0, ns) // shared gather buffer; stats copy nothing out
 	for hi, name := range g.Heuristics {
 		series[hi].Label = name
+		series[hi].Points = make([]Point, 0, nx)
 		for xi, x := range g.Xs {
-			var costs []float64
+			costs = costs[:0]
 			fails := 0
 			for s := 0; s < ns; s++ {
 				c := &cells[(hi*nx+xi)*ns+s]
@@ -223,7 +225,7 @@ func relabeled(fold seriesFold, rename func(label string) string) seriesFold {
 // series (the A2 ablation's y-axis).
 func feasSeries(label string) seriesFold {
 	return func(g *Grid, cells []Cell) []Series {
-		s := Series{Label: label}
+		s := Series{Label: label, Points: make([]Point, 0, len(g.Xs))}
 		ns := g.Seeds
 		for xi, x := range g.Xs {
 			ok := 0

@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/heuristics"
 	"repro/internal/instance"
@@ -71,15 +72,32 @@ func (e *WorkerEnv) Generate(cfg instance.Config, seed int64) *instance.Instance
 	return e.gen.Generate(cfg, seed)
 }
 
-func newWorkerEnvs(workers, n int) []WorkerEnv {
-	envs := make([]WorkerEnv, par.Workers(workers, n))
+// envPool recycles WorkerEnvs across Grid runs: repeated sweeps (perf
+// harness loops, shard batches, figure suites) draw already-warmed
+// generators, solve contexts and stream runners instead of replaying
+// every buffer's growth per run. Within one run each pool worker owns
+// one env exclusively; envs go back only after the run completes.
+var envPool = sync.Pool{New: func() any {
+	e := &WorkerEnv{}
+	// The engine owns every Result for the duration of one cell, so
+	// solves run on the context's mapping arena: steady-state cells
+	// reuse the same mapping, download tables and random streams.
+	e.sc.SetReuse(true)
+	return e
+}}
+
+func newWorkerEnvs(workers, n int) []*WorkerEnv {
+	envs := make([]*WorkerEnv, par.Workers(workers, n))
 	for i := range envs {
-		// The engine owns every Result for the duration of one cell, so
-		// solves run on the context's mapping arena: steady-state cells
-		// reuse the same mapping, download tables and random streams.
-		envs[i].sc.SetReuse(true)
+		envs[i] = envPool.Get().(*WorkerEnv)
 	}
 	return envs
+}
+
+func releaseWorkerEnvs(envs []*WorkerEnv) {
+	for _, e := range envs {
+		envPool.Put(e)
+	}
 }
 
 // Cell is one completed grid point: one heuristic solved on one
@@ -253,9 +271,10 @@ func (g *Grid) Run(ctx context.Context, emit func(Cell)) error {
 	}
 	idxs := g.shardIndices()
 	envs := newWorkerEnvs(g.Workers, len(idxs))
+	defer releaseWorkerEnvs(envs)
 	out := make([]Cell, len(idxs))
 	return par.ForEachOrdered(ctx, g.Workers, len(idxs), func(w, i int) {
-		out[i] = g.runCell(&envs[w], hs[idxs[i]/(len(g.Xs)*g.Seeds)], idxs[i])
+		out[i] = g.runCell(envs[w], hs[idxs[i]/(len(g.Xs)*g.Seeds)], idxs[i])
 	}, func(i int) {
 		if emit != nil {
 			emit(out[i])

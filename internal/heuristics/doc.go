@@ -1,0 +1,57 @@
+// Package heuristics implements the six polynomial operator-placement
+// heuristics of Benoit et al. (Section 4) together with the shared server
+// selection and downgrade steps.
+//
+// Every heuristic works in the paper's two (plus one) steps:
+//
+//  1. operator placement: decide how many processors to acquire and which
+//     operators run where; most heuristics buy only the most powerful
+//     configuration at this stage,
+//  2. server selection: decide from which data server each processor
+//     downloads each basic object it needs,
+//  3. downgrade: replace each purchased processor with the cheapest
+//     configuration that still sustains its compute and NIC load.
+//
+// Solve runs the full pipeline and independently validates the result, so
+// a returned Result is always a feasible mapping.
+//
+// # Reusable solve scratch
+//
+// Sweep workloads run thousands of solves, so every piece of per-solve
+// state has a reusable home and the steady-state pipeline allocates
+// almost nothing:
+//
+//   - SolveContext is the per-worker root: it owns the server-selection
+//     Selector, the placement PlaceContext and (with SetReuse) an arena
+//     Mapping, recycled Result and reseedable rng streams.
+//   - PlaceContext caches the placement strategies' sort and traversal
+//     scratch — the work-descending operator order, the per-catalog
+//     cost-ascending configuration list, the tree edge list and the
+//     al-operator/object-set/popularity/bottom-up tables. A nil
+//     PlaceContext is valid everywhere and simply allocates fresh.
+//   - Selector runs server selection on flat index-based scratch (dense
+//     server residuals, epoch-stamped link residuals, incrementally
+//     maintained pending lists); a warmed selector selects with zero
+//     allocations.
+//
+// All orders the heuristics sort by are total (ties break on operator,
+// edge or object indices), so the cached-scratch paths produce the same
+// canonical orders — and therefore bit-identical mappings — as the
+// historical allocating implementations.
+//
+// The placement probes lean on package mapping's incremental load
+// tracking: TryPlace/ProcFeasible answer from per-processor adjacency
+// state in O(|ops on p|) rather than re-walking the whole tree, which is
+// what keeps large-N solves out of the historical O(N²) regime. See the
+// mapping package documentation for the invariants.
+//
+// None of SolveContext, PlaceContext or Selector is safe for concurrent
+// use. Sweep engines hold one SolveContext per worker goroutine; the
+// package-level Solve and SelectServers* helpers borrow warmed instances
+// from internal pools.
+//
+// Capacity admission during selection is governed by the single
+// admissionEps constant (zero, deliberately stricter than verification's
+// mapping.Eps), so selection can never commit a download that Validate
+// rejects at a float boundary.
+package heuristics

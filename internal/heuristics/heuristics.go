@@ -1,26 +1,10 @@
-// Package heuristics implements the six polynomial operator-placement
-// heuristics of Benoit et al. (Section 4) together with the shared server
-// selection and downgrade steps.
-//
-// Every heuristic works in the paper's two (plus one) steps:
-//
-//  1. operator placement: decide how many processors to acquire and which
-//     operators run where; most heuristics buy only the most powerful
-//     configuration at this stage,
-//  2. server selection: decide from which data server each processor
-//     downloads each basic object it needs,
-//  3. downgrade: replace each purchased processor with the cheapest
-//     configuration that still sustains its compute and NIC load.
-//
-// Solve runs the full pipeline and independently validates the result, so
-// a returned Result is always a feasible mapping.
 package heuristics
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/apptree"
@@ -42,8 +26,87 @@ type Heuristic interface {
 	// m — handed in empty (mapping.New or an arena Reset) — or fails
 	// with an error wrapping ErrInfeasible. Taking the mapping rather
 	// than building one lets the solve pipeline thread a caller-owned
-	// arena through repeated solves.
-	Place(m *mapping.Mapping, r *rand.Rand) error
+	// arena through repeated solves; pc carries the reusable sort and
+	// traversal scratch (nil is valid and falls back to allocating).
+	Place(pc *PlaceContext, m *mapping.Mapping, r *rand.Rand) error
+}
+
+// PlaceContext owns the sort and traversal scratch the placement
+// strategies previously allocated per solve: the work-descending operator
+// order, the cost-ascending configuration list (cached per catalog), the
+// tree edge list, the al-operator / object-set / popularity tables and
+// the bottom-up traversal buffers. A SolveContext threads one through
+// repeated Solve calls so steady-state placement allocates nothing; a nil
+// *PlaceContext is valid everywhere and simply allocates fresh storage
+// (the behaviour — and every resulting placement — is identical either
+// way). A PlaceContext is not safe for concurrent use.
+type PlaceContext struct {
+	order     []int          // opsByWorkDesc result
+	alOps     []int          // ALOperators buffer
+	objs      []int          // ObjectSet buffer
+	pop       []int          // Popularity buffer
+	pending   []int          // per-object pending al-operator gather
+	bu, stack []int          // BottomUp traversal buffers
+	edges     []apptree.Edge // tree edge list
+	cat       *platform.Catalog
+	configs   []platform.Config // configsByCost(cat), cached while cat is unchanged
+}
+
+// pendingBuf returns the reusable pending-operator buffer (reset to
+// length 0); on a nil context appends simply allocate.
+func (pc *PlaceContext) pendingBuf() []int {
+	if pc == nil {
+		return nil
+	}
+	return pc.pending[:0]
+}
+
+// alOperators returns the tree's al-operators through the context buffer.
+func (pc *PlaceContext) alOperators(t *apptree.Tree) []int {
+	if pc == nil {
+		return t.ALOperators()
+	}
+	pc.alOps = t.ALOperatorsInto(pc.alOps)
+	return pc.alOps
+}
+
+// objectSet returns the tree's object set through the context buffer.
+func (pc *PlaceContext) objectSet(t *apptree.Tree) []int {
+	if pc == nil {
+		return t.ObjectSet()
+	}
+	pc.objs = t.ObjectSetInto(pc.objs)
+	return pc.objs
+}
+
+// popularity returns the per-object popularity counts through the
+// context buffer.
+func (pc *PlaceContext) popularity(t *apptree.Tree, numTypes int) []int {
+	if pc == nil {
+		return t.Popularity(numTypes)
+	}
+	pc.pop = t.PopularityInto(numTypes, pc.pop)
+	return pc.pop
+}
+
+// bottomUp returns the tree's bottom-up operator order through the
+// context buffers.
+func (pc *PlaceContext) bottomUp(t *apptree.Tree) []int {
+	if pc == nil {
+		return t.BottomUp()
+	}
+	pc.bu, pc.stack = t.BottomUpInto(pc.bu, pc.stack)
+	return pc.bu
+}
+
+// treeEdges returns the tree's sorted edge list through the context
+// buffer.
+func (pc *PlaceContext) treeEdges(t *apptree.Tree) []apptree.Edge {
+	if pc == nil {
+		return t.Edges()
+	}
+	pc.edges = t.EdgesInto(pc.edges)
+	return pc.edges
 }
 
 // All returns the six paper heuristics in the order of the paper's plots.
@@ -101,12 +164,14 @@ type Result struct {
 }
 
 // SolveContext owns the reusable scratch threaded through repeated Solve
-// calls: the server-selection Selector and, when the caller opts in with
-// SetReuse, an arena Mapping, a recycled Result and reseedable random
-// streams. A SolveContext is not safe for concurrent use: sweep engines
-// hold one per worker.
+// calls: the server-selection Selector, the placement-strategy
+// PlaceContext and, when the caller opts in with SetReuse, an arena
+// Mapping, a recycled Result and reseedable random streams. A
+// SolveContext is not safe for concurrent use: sweep engines hold one per
+// worker.
 type SolveContext struct {
-	sel Selector
+	sel   Selector
+	place PlaceContext
 
 	// Caller-owned arena (SetReuse(true)): repeated solves rebuild the
 	// mapping in place instead of allocating a fresh one per call.
@@ -147,7 +212,7 @@ func Solve(in *instance.Instance, h Heuristic, opts Options) (*Result, error) {
 // returned Result is context-owned (valid until the next Solve); the
 // solution itself is identical either way.
 func (c *SolveContext) Solve(in *instance.Instance, h Heuristic, opts Options) (*Result, error) {
-	if err := Precheck(in); err != nil {
+	if err := precheckCtx(in, &c.place); err != nil {
 		return nil, err
 	}
 	var m *mapping.Mapping
@@ -164,7 +229,7 @@ func (c *SolveContext) Solve(in *instance.Instance, h Heuristic, opts Options) (
 		m = mapping.New(in)
 		r = rng.Derive(opts.Seed, "heuristic:"+h.Name())
 	}
-	if err := h.Place(m, r); err != nil {
+	if err := h.Place(&c.place, m, r); err != nil {
 		return nil, fmt.Errorf("%s placement: %w", h.Name(), err)
 	}
 	if !m.Complete() {
@@ -221,6 +286,14 @@ func (c *SolveContext) Solve(in *instance.Instance, h Heuristic, opts Options) (
 // rate exceeds the server links or every holder's NIC, or a download load
 // that cannot fit the widest processor NIC.
 func Precheck(in *instance.Instance) error {
+	return precheckCtx(in, nil)
+}
+
+// precheckCtx is Precheck through a PlaceContext's reusable object-set
+// buffer (nil allocates). The object set is gathered only after the
+// per-operator work check passes, so the instant-reject path of oversized
+// corpus cells stays O(N) with no sort.
+func precheckCtx(in *instance.Instance, pc *PlaceContext) error {
 	cat := in.Platform.Catalog
 	best := cat.MostExpensive()
 	maxSpeed := cat.SpeedUnits(best)
@@ -231,7 +304,7 @@ func Precheck(in *instance.Instance) error {
 				i, in.Rho*w, maxSpeed, ErrInfeasible)
 		}
 	}
-	for _, k := range in.Tree.ObjectSet() {
+	for _, k := range pc.objectSet(in.Tree) {
 		rate := in.Rate(k)
 		if rate > in.Platform.ServerLinkMBps {
 			return fmt.Errorf("object %d rate %.1f MB/s exceeds server links %.1f: %w",
@@ -264,24 +337,39 @@ func sellEmpty(m *mapping.Mapping) {
 }
 
 // configsByCost returns every purchasable configuration sorted by
-// non-decreasing cost (ties: slower CPU first, then narrower NIC).
-func configsByCost(cat *platform.Catalog) []platform.Config {
-	var out []platform.Config
+// non-decreasing cost (ties: slower CPU first, then narrower NIC). The
+// order is a pure function of the catalog, so a PlaceContext caches it
+// and repeated solves on one catalog (every sweep) skip the rebuild.
+func configsByCost(pc *PlaceContext, cat *platform.Catalog) []platform.Config {
+	if pc != nil && pc.cat == cat && pc.configs != nil {
+		return pc.configs
+	}
+	n := len(cat.CPUs) * len(cat.NICs)
+	out := make([]platform.Config, 0, n)
+	if pc != nil && cap(pc.configs) >= n {
+		out = pc.configs[:0]
+	}
 	for ci := range cat.CPUs {
 		for ni := range cat.NICs {
 			out = append(out, platform.Config{CPU: ci, NIC: ni})
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		ca, cb := cat.Cost(out[a]), cat.Cost(out[b])
+	slices.SortFunc(out, func(a, b platform.Config) int {
+		ca, cb := cat.Cost(a), cat.Cost(b)
 		if ca != cb {
-			return ca < cb
+			if ca < cb {
+				return -1
+			}
+			return 1
 		}
-		if out[a].CPU != out[b].CPU {
-			return out[a].CPU < out[b].CPU
+		if a.CPU != b.CPU {
+			return a.CPU - b.CPU
 		}
-		return out[a].NIC < out[b].NIC
+		return a.NIC - b.NIC
 	})
+	if pc != nil {
+		pc.cat, pc.configs = cat, out
+	}
 	return out
 }
 

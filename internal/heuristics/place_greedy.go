@@ -3,10 +3,12 @@ package heuristics
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
+	"repro/internal/apptree"
 	"repro/internal/instance"
 	"repro/internal/mapping"
+	"repro/internal/xslice"
 )
 
 // CompGreedy is the paper's computation-greedy heuristic: operators are
@@ -21,25 +23,26 @@ type CompGreedy struct{}
 func (CompGreedy) Name() string { return "Comp-Greedy" }
 
 // Place implements Heuristic.
-func (CompGreedy) Place(m *mapping.Mapping, _ *rand.Rand) error {
+func (CompGreedy) Place(pc *PlaceContext, m *mapping.Mapping, _ *rand.Rand) error {
 	in := m.Inst
-	order := opsByWorkDesc(in)
+	order := opsByWorkDesc(pc, in)
+	// Operators only ever gain assignments inside this loop (grouping
+	// restores any operator it detaches), so the seed scan can resume
+	// where the last round stopped instead of rescanning the prefix.
+	start := 0
 	for {
-		seed := -1
-		for _, op := range order {
-			if m.OpProc(op) == mapping.Unassigned {
-				seed = op
-				break
-			}
+		for start < len(order) && m.OpProc(order[start]) != mapping.Unassigned {
+			start++
 		}
-		if seed < 0 {
+		if start == len(order) {
 			return nil
 		}
+		seed := order[start]
 		p := buyMostExpensive(m)
 		if err := placeWithGrouping(m, p, seed); err != nil {
 			return err
 		}
-		for _, op := range order {
+		for _, op := range order[start:] {
 			if m.OpProc(op) == mapping.Unassigned {
 				m.TryPlace(p, op) // best effort: skip operators that do not fit
 			}
@@ -48,18 +51,30 @@ func (CompGreedy) Place(m *mapping.Mapping, _ *rand.Rand) error {
 }
 
 // opsByWorkDesc returns all operator indices by non-increasing w_i
-// (ties: smaller index first).
-func opsByWorkDesc(in *instance.Instance) []int {
-	order := make([]int, in.Tree.NumOps())
+// (ties: smaller index first) — a total order, so the sorted result is
+// canonical. The order lives in the PlaceContext buffer when one is
+// supplied.
+func opsByWorkDesc(pc *PlaceContext, in *instance.Instance) []int {
+	n := in.Tree.NumOps()
+	var order []int
+	if pc == nil {
+		order = make([]int, n)
+	} else {
+		pc.order = xslice.Grow(pc.order, n)
+		order = pc.order
+	}
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool {
-		wa, wb := in.W[order[a]], in.W[order[b]]
-		if wa != wb {
-			return wa > wb
+	slices.SortFunc(order, func(a, b int) int {
+		wa, wb := in.W[a], in.W[b]
+		switch {
+		case wa > wb:
+			return -1
+		case wa < wb:
+			return 1
 		}
-		return order[a] < order[b]
+		return a - b
 	})
 	return order
 }
@@ -74,9 +89,9 @@ type CommGreedy struct{}
 func (CommGreedy) Name() string { return "Comm-Greedy" }
 
 // Place implements Heuristic.
-func (CommGreedy) Place(m *mapping.Mapping, _ *rand.Rand) error {
+func (CommGreedy) Place(pc *PlaceContext, m *mapping.Mapping, _ *rand.Rand) error {
 	in := m.Inst
-	configs := configsByCost(in.Platform.Catalog)
+	configs := configsByCost(pc, in.Platform.Catalog)
 
 	buyCheapestFor := func(ops ...int) bool {
 		return buyCheapestHosting(m, configs, ops...)
@@ -86,16 +101,19 @@ func (CommGreedy) Place(m *mapping.Mapping, _ *rand.Rand) error {
 		return placeWithGrouping(m, p, op)
 	}
 
-	edges := in.Tree.Edges()
-	sort.Slice(edges, func(a, b int) bool {
-		ta, tb := in.EdgeTraffic(edges[a].Child), in.EdgeTraffic(edges[b].Child)
-		if ta != tb {
-			return ta > tb
+	edges := pc.treeEdges(in.Tree)
+	slices.SortFunc(edges, func(a, b apptree.Edge) int {
+		ta, tb := in.EdgeTraffic(a.Child), in.EdgeTraffic(b.Child)
+		switch {
+		case ta > tb:
+			return -1
+		case ta < tb:
+			return 1
 		}
-		if edges[a].Child != edges[b].Child {
-			return edges[a].Child < edges[b].Child
+		if a.Child != b.Child {
+			return a.Child - b.Child
 		}
-		return edges[a].Parent < edges[b].Parent
+		return a.Parent - b.Parent
 	})
 
 	for _, e := range edges {

@@ -3,7 +3,7 @@ package heuristics
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/mapping"
 )
@@ -19,11 +19,11 @@ type ObjectGrouping struct{}
 func (ObjectGrouping) Name() string { return "Object-Grouping" }
 
 // Place implements Heuristic.
-func (ObjectGrouping) Place(m *mapping.Mapping, _ *rand.Rand) error {
+func (ObjectGrouping) Place(pc *PlaceContext, m *mapping.Mapping, _ *rand.Rand) error {
 	in := m.Inst
-	pop := in.Tree.Popularity(in.NumTypes)
+	pop := pc.popularity(in.Tree, in.NumTypes)
 
-	alOrder := in.Tree.ALOperators()
+	alOrder := pc.alOperators(in.Tree)
 	popSum := func(op int) int {
 		s := 0
 		var buf [2]int
@@ -32,26 +32,27 @@ func (ObjectGrouping) Place(m *mapping.Mapping, _ *rand.Rand) error {
 		}
 		return s
 	}
-	sort.Slice(alOrder, func(a, b int) bool {
-		sa, sb := popSum(alOrder[a]), popSum(alOrder[b])
+	slices.SortFunc(alOrder, func(a, b int) int {
+		sa, sb := popSum(a), popSum(b)
 		if sa != sb {
-			return sa > sb
+			return sb - sa
 		}
-		return alOrder[a] < alOrder[b]
+		return a - b
 	})
-	nonAL := opsByWorkDesc(in)
+	nonAL := opsByWorkDesc(pc, in)
 
+	// Assignments are monotone across rounds (grouping restores any
+	// operator it detaches), so the seed scans below resume where the
+	// previous round stopped.
+	alStart := 0
 	for {
-		seed := -1
-		for _, op := range alOrder {
-			if m.OpProc(op) == mapping.Unassigned {
-				seed = op
-				break
-			}
+		for alStart < len(alOrder) && m.OpProc(alOrder[alStart]) != mapping.Unassigned {
+			alStart++
 		}
-		if seed < 0 {
+		if alStart == len(alOrder) {
 			break
 		}
+		seed := alOrder[alStart]
 		p := buyMostExpensive(m)
 		if err := placeWithGrouping(m, p, seed); err != nil {
 			return fmt.Errorf("al-operator %d: %w", seed, err)
@@ -86,22 +87,20 @@ func (ObjectGrouping) Place(m *mapping.Mapping, _ *rand.Rand) error {
 
 	// Any remaining operators (non-al ones that fit nowhere yet): keep
 	// buying most-expensive processors and packing by non-increasing w_i.
+	start := 0
 	for {
-		seed := -1
-		for _, op := range nonAL {
-			if m.OpProc(op) == mapping.Unassigned {
-				seed = op
-				break
-			}
+		for start < len(nonAL) && m.OpProc(nonAL[start]) != mapping.Unassigned {
+			start++
 		}
-		if seed < 0 {
+		if start == len(nonAL) {
 			return nil
 		}
+		seed := nonAL[start]
 		p := buyMostExpensive(m)
 		if err := placeWithGrouping(m, p, seed); err != nil {
 			return err
 		}
-		for _, op := range nonAL {
+		for _, op := range nonAL[start:] {
 			if m.OpProc(op) == mapping.Unassigned {
 				m.TryPlace(p, op)
 			}
@@ -121,16 +120,16 @@ type ObjectAvailability struct{}
 func (ObjectAvailability) Name() string { return "Object-Availability" }
 
 // Place implements Heuristic.
-func (ObjectAvailability) Place(m *mapping.Mapping, _ *rand.Rand) error {
+func (ObjectAvailability) Place(pc *PlaceContext, m *mapping.Mapping, _ *rand.Rand) error {
 	in := m.Inst
 
-	objs := in.Tree.ObjectSet()
-	sort.Slice(objs, func(a, b int) bool {
-		aa, ab := in.Availability(objs[a]), in.Availability(objs[b])
+	objs := pc.objectSet(in.Tree)
+	slices.SortFunc(objs, func(a, b int) int {
+		aa, ab := in.Availability(a), in.Availability(b)
 		if aa != ab {
-			return aa < ab
+			return aa - ab
 		}
-		return objs[a] < objs[b]
+		return a - b
 	})
 
 	needsObj := func(op, k int) bool {
@@ -143,11 +142,12 @@ func (ObjectAvailability) Place(m *mapping.Mapping, _ *rand.Rand) error {
 		return false
 	}
 
-	alOps := in.Tree.ALOperators()
+	alOps := pc.alOperators(in.Tree)
+	pending := pc.pendingBuf()
 	for _, k := range objs {
 		for {
 			// Collect still-unassigned al-operators that download k.
-			var pending []int
+			pending = pending[:0]
 			for _, op := range alOps {
 				if m.OpProc(op) == mapping.Unassigned && needsObj(op, k) {
 					pending = append(pending, op)
@@ -172,20 +172,21 @@ func (ObjectAvailability) Place(m *mapping.Mapping, _ *rand.Rand) error {
 			}
 		}
 	}
+	if pc != nil {
+		pc.pending = pending // keep any grown capacity for the next solve
+	}
 
 	// Remaining internal operators: Comp-Greedy style.
-	order := opsByWorkDesc(in)
+	order := opsByWorkDesc(pc, in)
+	start := 0
 	for {
-		seed := -1
-		for _, op := range order {
-			if m.OpProc(op) == mapping.Unassigned {
-				seed = op
-				break
-			}
+		for start < len(order) && m.OpProc(order[start]) != mapping.Unassigned {
+			start++
 		}
-		if seed < 0 {
+		if start == len(order) {
 			return nil
 		}
+		seed := order[start]
 		// First try to pack onto an existing processor (the one with which
 		// the operator communicates most, then any other).
 		if p := bestExistingProc(m, seed); p >= 0 && m.TryPlace(p, seed) {

@@ -19,17 +19,20 @@ type Random struct{}
 func (Random) Name() string { return "Random" }
 
 // Place implements Heuristic.
-func (Random) Place(m *mapping.Mapping, r *rand.Rand) error {
+func (Random) Place(pc *PlaceContext, m *mapping.Mapping, r *rand.Rand) error {
 	in := m.Inst
-	configs := configsByCost(in.Platform.Catalog)
+	configs := configsByCost(pc, in.Platform.Catalog)
 
-	var rest []int // reused across rounds; refilled before each draw
+	rest := pc.pendingBuf() // reused across rounds; refilled before each draw
 	unassigned := func() []int {
 		rest = rest[:0]
 		for op := range in.Tree.Ops {
 			if m.OpProc(op) == mapping.Unassigned {
 				rest = append(rest, op)
 			}
+		}
+		if pc != nil {
+			pc.pending = rest // keep grown capacity for the next solve
 		}
 		return rest
 	}

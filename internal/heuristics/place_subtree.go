@@ -31,13 +31,13 @@ func (h SubtreeBottomUp) Name() string {
 }
 
 // Place implements Heuristic.
-func (h SubtreeBottomUp) Place(m *mapping.Mapping, _ *rand.Rand) error {
+func (h SubtreeBottomUp) Place(pc *PlaceContext, m *mapping.Mapping, _ *rand.Rand) error {
 	in := m.Inst
 
 	// Step 1: one most-expensive processor per al-operator. When an
 	// al-operator is adjacent to an already-placed one and the shared edge
 	// exceeds the processor links, the grouping fallback co-locates them.
-	for _, op := range in.Tree.ALOperators() {
+	for _, op := range pc.alOperators(in.Tree) {
 		p := buyMostExpensive(m)
 		if err := placeWithGrouping(m, p, op); err != nil {
 			return fmt.Errorf("al-operator %d: %w", op, err)
@@ -46,7 +46,7 @@ func (h SubtreeBottomUp) Place(m *mapping.Mapping, _ *rand.Rand) error {
 
 	// Step 2: bottom-up, place each remaining operator with one of its
 	// children, merging sibling processors whenever that fits.
-	for _, op := range in.Tree.BottomUp() {
+	for _, op := range pc.bottomUp(in.Tree) {
 		if m.OpProc(op) != mapping.Unassigned {
 			// Already placed (al-operator); still try to fold the
 			// processors of its operator children into this one.

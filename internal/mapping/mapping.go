@@ -1,28 +1,8 @@
-// Package mapping implements the operator-to-processor allocation model of
-// Benoit et al. and the five steady-state feasibility constraints of the
-// paper's Section 2.3:
-//
-//	(1) compute:        sum_{i in a¯(u)} rho*w_i / s_u <= 1
-//	(2) processor NIC:  downloads + crossing child traffic + crossing
-//	                    parent traffic <= Bp_u
-//	(3) server NIC:     sum of downloads served by S_l <= Bs_l
-//	(4) server-proc link: downloads on (l,u) <= bs
-//	(5) proc-proc link:   crossing traffic between (u,v) <= bp
-//
-// A Mapping is a mutable construction object for the placement heuristics:
-// processors are bought and sold, operators placed and removed, and server
-// choices recorded. Validate performs a full independent re-check of every
-// constraint from scratch, so heuristics cannot hide bookkeeping bugs.
-//
-// A Mapping is not safe for concurrent use: the constraint-checking
-// methods share per-Mapping scratch buffers (the placement heuristics
-// hammer TryPlace/ProcFeasible, and reallocating dedup sets on every call
-// dominated the solve profile), so even read-only methods may race. Batch
-// solvers give every goroutine its own Mapping.
 package mapping
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/apptree"
 	"repro/internal/instance"
@@ -47,24 +27,37 @@ type Proc struct {
 type Mapping struct {
 	Inst   *instance.Instance
 	Procs  []Proc
-	Assign []int         // operator -> processor index, or Unassigned
+	Assign []int         // operator -> processor index, or Unassigned; read-only for callers
 	DL     []map[int]int // per processor: object type -> chosen server (NoServer until selected)
 
-	scr    *scratch      // lazily-allocated reusable buffers, never shared via Clone
-	dlFree []map[int]int // cleared download tables recycled across Reset cycles
+	// Incrementally-maintained per-processor adjacency (see doc.go):
+	// opsOn[p] holds p's operators ascending, objRef[p*NumTypes+k] counts
+	// leaf references to object k on p. Place/Unplace update both in
+	// O(degree); every load query folds over them in canonical order, so
+	// results are bit-identical to a fresh walk of Assign.
+	opsOn  [][]int
+	objRef []int32
+
+	scr     *scratch      // lazily-allocated reusable buffers, never shared via Clone
+	dlFree  []map[int]int // cleared download tables recycled across Reset cycles
+	opsFree [][]int       // emptied opsOn lists recycled across Reset cycles
 }
 
 // scratch holds the reusable buffers behind the hot constraint checks.
 // Every user clears what it dirtied before returning, so the buffers are
 // all-false/empty between calls and methods can nest (TryPlace ->
-// ProcFeasible -> DownloadLoad) as long as they use disjoint fields.
+// ProcFeasible) as long as they use disjoint fields.
 type scratch struct {
-	objSeen  []bool // per object type: dedup for download sums
-	opSeen   []bool // per operator: group membership in StaticNICReq
-	procSeen []bool // per processor: dedup of affected procs in TryPlace
-	affected []int  // TryPlace: procs to re-check
-	prev     []int  // TryPlace: rollback assignments
-	ops      []int  // MoveAll: operator gather buffer
+	objSeen  []bool    // per object type: dedup for Validate's fresh download sums
+	opSeen   []bool    // per operator: group membership in StaticNICReq
+	procSeen []bool    // per processor: dedup of affected procs in TryPlace
+	affected []int     // TryPlace: procs to re-check
+	prev     []int     // TryPlace: rollback assignments
+	ops      []int     // MoveAll: operator gather buffer
+	linkOn   []bool    // ProcFeasible: per processor, link accumulator active
+	linkAmt  []float64 // ProcFeasible: accumulated link traffic per processor
+	linkTo   []int     // ProcFeasible: processors with accumulated traffic
+	refCnt   []int32   // Validate: fresh per-object leaf recount
 }
 
 // scratchFor returns the mapping's scratch with the per-type and per-op
@@ -92,12 +85,13 @@ func New(in *instance.Instance) *Mapping {
 // Reset rebinds m to in as an empty mapping, recycling every piece of
 // storage a previous construction left behind: the processor and
 // assignment vectors keep their capacity, the per-processor download
-// tables are cleared onto an internal freelist that Buy/PresizeDL drain
-// before calling make, and the constraint-check scratch survives as-is.
-// A Reset mapping is indistinguishable from New(in) to every method;
-// steady-state sweep solves through one arena mapping allocate nothing
-// here. Anything previously reachable from m (its old Procs, DL tables)
-// is invalidated — callers that handed those out must Clone first.
+// tables and operator lists are cleared onto internal freelists that Buy
+// drains before calling make, and the constraint-check scratch survives
+// as-is. A Reset mapping is indistinguishable from New(in) to every
+// method; steady-state sweep solves through one arena mapping allocate
+// nothing here. Anything previously reachable from m (its old Procs, DL
+// tables) is invalidated — callers that handed those out must Clone
+// first.
 func (m *Mapping) Reset(in *instance.Instance) {
 	m.Inst = in
 	m.Assign = xslice.Grow(m.Assign, in.Tree.NumOps())
@@ -111,8 +105,16 @@ func (m *Mapping) Reset(in *instance.Instance) {
 			m.DL[p] = nil
 		}
 	}
+	for p := range m.opsOn {
+		if m.opsOn[p] != nil {
+			m.opsFree = append(m.opsFree, m.opsOn[p][:0])
+			m.opsOn[p] = nil
+		}
+	}
 	m.Procs = m.Procs[:0]
 	m.DL = m.DL[:0]
+	m.opsOn = m.opsOn[:0]
+	m.objRef = m.objRef[:0]
 }
 
 // newDL returns an empty download table with room for n entries,
@@ -142,6 +144,13 @@ func (m *Mapping) Clone() *Mapping {
 			c.DL[i][k] = v
 		}
 	}
+	c.opsOn = make([][]int, len(m.opsOn))
+	for p, lst := range m.opsOn {
+		if len(lst) > 0 {
+			c.opsOn[p] = append([]int(nil), lst...)
+		}
+	}
+	c.objRef = append([]int32(nil), m.objRef...)
 	return c
 }
 
@@ -149,12 +158,22 @@ func (m *Mapping) Clone() *Mapping {
 func (m *Mapping) Buy(cfg platform.Config) int {
 	m.Procs = append(m.Procs, Proc{Config: cfg, Alive: true})
 	m.DL = append(m.DL, nil)
+	var lst []int
+	if k := len(m.opsFree); k > 0 {
+		lst = m.opsFree[k-1]
+		m.opsFree[k-1] = nil
+		m.opsFree = m.opsFree[:k-1]
+	}
+	m.opsOn = append(m.opsOn, lst)
+	for k := 0; k < m.Inst.NumTypes; k++ {
+		m.objRef = append(m.objRef, 0)
+	}
 	return len(m.Procs) - 1
 }
 
 // Sell returns a processor; it must be empty.
 func (m *Mapping) Sell(p int) {
-	if n := m.NumOpsOn(p); n != 0 {
+	if n := len(m.opsOn[p]); n != 0 {
 		panic(fmt.Sprintf("mapping: selling processor %d with %d operators", p, n))
 	}
 	m.Procs[p].Alive = false
@@ -165,42 +184,76 @@ func (m *Mapping) Sell(p int) {
 	}
 }
 
-// Place assigns operator op to processor p (which must be alive).
+// attach adds op (currently unassigned) to processor p's adjacency state.
+func (m *Mapping) attach(op, p int) {
+	m.Assign[op] = p
+	lst := m.opsOn[p]
+	i := len(lst)
+	lst = append(lst, op)
+	for i > 0 && lst[i-1] > op {
+		lst[i] = lst[i-1]
+		i--
+	}
+	lst[i] = op
+	m.opsOn[p] = lst
+	tree := m.Inst.Tree
+	base := p * m.Inst.NumTypes
+	for _, li := range tree.Ops[op].Leaves {
+		m.objRef[base+tree.Leaves[li].Object]++
+	}
+}
+
+// detach removes op from its processor's adjacency state.
+func (m *Mapping) detach(op int) {
+	p := m.Assign[op]
+	m.Assign[op] = Unassigned
+	lst := m.opsOn[p]
+	i := sort.SearchInts(lst, op)
+	copy(lst[i:], lst[i+1:])
+	m.opsOn[p] = lst[:len(lst)-1]
+	tree := m.Inst.Tree
+	base := p * m.Inst.NumTypes
+	for _, li := range tree.Ops[op].Leaves {
+		m.objRef[base+tree.Leaves[li].Object]--
+	}
+}
+
+// Place assigns operator op to processor p (which must be alive),
+// detaching it from any previous processor first.
 func (m *Mapping) Place(op, p int) {
 	if !m.Procs[p].Alive {
 		panic(fmt.Sprintf("mapping: placing on sold processor %d", p))
 	}
-	m.Assign[op] = p
+	if m.Assign[op] == p {
+		return
+	}
+	if m.Assign[op] != Unassigned {
+		m.detach(op)
+	}
+	m.attach(op, p)
 }
 
 // Unplace removes operator op from its processor.
-func (m *Mapping) Unplace(op int) { m.Assign[op] = Unassigned }
+func (m *Mapping) Unplace(op int) {
+	if m.Assign[op] != Unassigned {
+		m.detach(op)
+	}
+}
 
 // OpProc returns the processor hosting op, or Unassigned.
 func (m *Mapping) OpProc(op int) int { return m.Assign[op] }
 
 // OpsOn returns the operators currently assigned to p, ascending.
 func (m *Mapping) OpsOn(p int) []int {
-	var out []int
-	for op, q := range m.Assign {
-		if q == p {
-			out = append(out, op)
-		}
+	if len(m.opsOn[p]) == 0 {
+		return nil
 	}
-	return out
+	return append([]int(nil), m.opsOn[p]...)
 }
 
 // NumOpsOn returns how many operators are assigned to p without
 // materializing the list.
-func (m *Mapping) NumOpsOn(p int) int {
-	n := 0
-	for _, q := range m.Assign {
-		if q == p {
-			n++
-		}
-	}
-	return n
-}
+func (m *Mapping) NumOpsOn(p int) int { return len(m.opsOn[p]) }
 
 // AliveProcs returns the ids of processors not yet sold.
 func (m *Mapping) AliveProcs() []int {
@@ -237,19 +290,20 @@ func (m *Mapping) Cost() float64 {
 
 // ComputeLoad returns the work rate rho * sum w_i demanded of p, in
 // work-units/s; constraint (1) requires it not to exceed the processor's
-// SpeedUnits.
+// SpeedUnits. O(|ops on p|) over the incremental adjacency, summed in
+// ascending operator order (bit-identical to a full re-walk).
 func (m *Mapping) ComputeLoad(p int) float64 {
 	load := 0.0
-	for op, q := range m.Assign {
-		if q == p {
-			load += m.Inst.Rho * m.Inst.W[op]
-		}
+	for _, op := range m.opsOn[p] {
+		load += m.Inst.Rho * m.Inst.W[op]
 	}
 	return load
 }
 
 // markNeeded sets objSeen for every object type the operators on p must
-// download and reports whether any was marked. Callers clear the marks.
+// download and reports whether any was marked, re-walking every operator
+// from scratch — the reference implementation Validate checks the
+// incremental objRef counts against. Callers clear the marks.
 func (m *Mapping) markNeeded(p int, objSeen []bool) bool {
 	tree := m.Inst.Tree
 	any := false
@@ -268,15 +322,11 @@ func (m *Mapping) markNeeded(p int, objSeen []bool) bool {
 // NeededObjects returns the de-duplicated sorted object types the
 // operators on p must download (union of Leaf(i) over i in a¯(p)).
 func (m *Mapping) NeededObjects(p int) []int {
-	s := m.scratchFor()
-	if !m.markNeeded(p, s.objSeen) {
-		return nil
-	}
 	var out []int
-	for k, seen := range s.objSeen {
-		if seen {
+	base := p * m.Inst.NumTypes
+	for k := 0; k < m.Inst.NumTypes; k++ {
+		if m.objRef[base+k] > 0 {
 			out = append(out, k)
-			s.objSeen[k] = false
 		}
 	}
 	return out
@@ -286,17 +336,13 @@ func (m *Mapping) NeededObjects(p int) []int {
 // downloads: sum of rate_k over its needed objects (each object is
 // downloaded once per processor regardless of how many local operators
 // share it — the paper's DL(u) is a set). The sum runs in ascending
-// object order, matching NeededObjects.
+// object order over the refcounts, matching NeededObjects.
 func (m *Mapping) DownloadLoad(p int) float64 {
-	s := m.scratchFor()
-	if !m.markNeeded(p, s.objSeen) {
-		return 0
-	}
 	load := 0.0
-	for k, seen := range s.objSeen {
-		if seen {
+	base := p * m.Inst.NumTypes
+	for k := 0; k < m.Inst.NumTypes; k++ {
+		if m.objRef[base+k] > 0 {
 			load += m.Inst.Rate(k)
-			s.objSeen[k] = false
 		}
 	}
 	return load
@@ -312,10 +358,7 @@ func (m *Mapping) DownloadLoad(p int) float64 {
 func (m *Mapping) CommLoad(p int) float64 {
 	load := 0.0
 	tree := m.Inst.Tree
-	for op, onP := range m.Assign {
-		if onP != p {
-			continue
-		}
+	for _, op := range m.opsOn[p] {
 		for _, c := range tree.Ops[op].ChildOps {
 			if q := m.Assign[c]; q != p && q != Unassigned {
 				load += m.Inst.EdgeTraffic(c)
@@ -401,10 +444,7 @@ func (m *Mapping) LinkTraffic(p, q int) float64 {
 	}
 	load := 0.0
 	tree := m.Inst.Tree
-	for op, onP := range m.Assign {
-		if onP != p {
-			continue
-		}
+	for _, op := range m.opsOn[p] {
 		for _, c := range tree.Ops[op].ChildOps {
 			if m.Assign[c] == q {
 				load += m.Inst.EdgeTraffic(c)
@@ -417,9 +457,49 @@ func (m *Mapping) LinkTraffic(p, q int) float64 {
 	return load
 }
 
+// gatherLinks accumulates the (5)-link traffic of every processor
+// adjacent to p into the link scratch and returns the touched processor
+// list (unsorted). Per-link sums accumulate in the same edge order
+// LinkTraffic uses — operators ascending, child edges then parent edge —
+// so each s.linkAmt[q] is bit-identical to LinkTraffic(p, q). The caller
+// clears s.linkOn for every returned q and truncates s.linkTo.
+func (m *Mapping) gatherLinks(p int, s *scratch) []int {
+	s.linkOn = xslice.Grow(s.linkOn, len(m.Procs))
+	s.linkAmt = xslice.Grow(s.linkAmt, len(m.Procs))
+	touched := s.linkTo[:0]
+	tree := m.Inst.Tree
+	for _, op := range m.opsOn[p] {
+		for _, c := range tree.Ops[op].ChildOps {
+			if q := m.Assign[c]; q != p && q != Unassigned {
+				if !s.linkOn[q] {
+					s.linkOn[q] = true
+					s.linkAmt[q] = 0
+					touched = append(touched, q)
+				}
+				s.linkAmt[q] += m.Inst.EdgeTraffic(c)
+			}
+		}
+		if par := tree.Ops[op].Parent; par != apptree.NoParent {
+			if q := m.Assign[par]; q != p && q != Unassigned {
+				if !s.linkOn[q] {
+					s.linkOn[q] = true
+					s.linkAmt[q] = 0
+					touched = append(touched, q)
+				}
+				s.linkAmt[q] += m.Inst.EdgeTraffic(op)
+			}
+		}
+	}
+	return touched
+}
+
 // ProcFeasible checks constraints (1), (2) and every (5)-link touching p
 // for the current (possibly partial) assignment. It returns nil or a
-// descriptive error.
+// descriptive error. One pass over p's operators accumulates the traffic
+// of every touched link, so the cost is O(|ops on p|) rather than the
+// historical all-pairs O(P·N) scan; links are checked in ascending
+// processor order, so both the verdict and the reported violation are
+// identical to the historical implementation's.
 func (m *Mapping) ProcFeasible(p int) error {
 	cat := m.Inst.Platform.Catalog
 	if load, cap := m.ComputeLoad(p), cat.SpeedUnits(m.Procs[p].Config); load > cap+eps {
@@ -428,15 +508,48 @@ func (m *Mapping) ProcFeasible(p int) error {
 	if load, cap := m.NICLoad(p), cat.BandwidthMBps(m.Procs[p].Config); load > cap+eps {
 		return fmt.Errorf("mapping: processor %d NIC overload %.3f > %.3f MB/s", p, load, cap)
 	}
-	for q := range m.Procs {
-		if q == p || !m.Procs[q].Alive {
-			continue
-		}
-		if tr := m.LinkTraffic(p, q); tr > m.Inst.Platform.ProcLinkMBps+eps {
-			return fmt.Errorf("mapping: link %d-%d overload %.3f > %.3f MB/s", p, q, tr, m.Inst.Platform.ProcLinkMBps)
+	s := m.scratchFor()
+	touched := m.gatherLinks(p, s)
+	// Ascending q, like the historical scan over all processor pairs.
+	for i := 1; i < len(touched); i++ {
+		for j := i; j > 0 && touched[j] < touched[j-1]; j-- {
+			touched[j], touched[j-1] = touched[j-1], touched[j]
 		}
 	}
-	return nil
+	var err error
+	for _, q := range touched {
+		if tr := s.linkAmt[q]; err == nil && tr > m.Inst.Platform.ProcLinkMBps+eps {
+			err = fmt.Errorf("mapping: link %d-%d overload %.3f > %.3f MB/s", p, q, tr, m.Inst.Platform.ProcLinkMBps)
+		}
+		s.linkOn[q] = false
+	}
+	s.linkTo = touched[:0]
+	return err
+}
+
+// procFeasible is ProcFeasible as a bare verdict: the same checks in the
+// same order, without materializing the diagnostic error. TryPlace probes
+// candidate placements thousands of times per solve and discards the
+// reason, so formatting it dominated the probe cost.
+func (m *Mapping) procFeasible(p int) bool {
+	cat := m.Inst.Platform.Catalog
+	if m.ComputeLoad(p) > cat.SpeedUnits(m.Procs[p].Config)+eps {
+		return false
+	}
+	if m.NICLoad(p) > cat.BandwidthMBps(m.Procs[p].Config)+eps {
+		return false
+	}
+	s := m.scratchFor()
+	touched := m.gatherLinks(p, s)
+	ok := true
+	for _, q := range touched {
+		if s.linkAmt[q] > m.Inst.Platform.ProcLinkMBps+eps {
+			ok = false
+		}
+		s.linkOn[q] = false
+	}
+	s.linkTo = touched[:0]
+	return ok
 }
 
 // Eps absorbs float rounding in constraint comparisons: a load may exceed
@@ -482,7 +595,7 @@ func (m *Mapping) TryPlace(p int, ops ...int) bool {
 	}
 	ok := true
 	for _, q := range affected {
-		if m.ProcFeasible(q) != nil {
+		if !m.procFeasible(q) {
 			ok = false
 			break
 		}
@@ -492,8 +605,14 @@ func (m *Mapping) TryPlace(p int, ops ...int) bool {
 	}
 	s.affected = affected[:0]
 	if !ok {
+		// Undo through Place/Unplace so the adjacency state rolls back
+		// with the assignments (integer bookkeeping round-trips exactly).
 		for i, op := range ops {
-			m.Assign[op] = prev[i]
+			if prev[i] == Unassigned {
+				m.Unplace(op)
+			} else {
+				m.Place(op, prev[i])
+			}
 		}
 	}
 	return ok
@@ -508,12 +627,8 @@ func (m *Mapping) MoveAll(from, to int) bool {
 		return false
 	}
 	s := m.scratchFor()
-	ops := s.ops[:0]
-	for op, q := range m.Assign {
-		if q == from {
-			ops = append(ops, op)
-		}
-	}
+	// Snapshot: TryPlace mutates opsOn[from] as it moves the operators.
+	ops := append(s.ops[:0], m.opsOn[from]...)
 	s.ops = ops
 	if !m.TryPlace(to, ops...) {
 		return false
@@ -579,9 +694,126 @@ func (m *Mapping) ServerLinkLoad(l, p int) float64 {
 	return load
 }
 
+// freshComputeLoad is ComputeLoad re-summed from the Assign vector — the
+// historical O(N) implementation, kept as Validate's reference.
+func (m *Mapping) freshComputeLoad(p int) float64 {
+	load := 0.0
+	for op, q := range m.Assign {
+		if q == p {
+			load += m.Inst.Rho * m.Inst.W[op]
+		}
+	}
+	return load
+}
+
+// freshCommLoad is CommLoad re-summed from the Assign vector.
+func (m *Mapping) freshCommLoad(p int) float64 {
+	load := 0.0
+	tree := m.Inst.Tree
+	for op, onP := range m.Assign {
+		if onP != p {
+			continue
+		}
+		for _, c := range tree.Ops[op].ChildOps {
+			if q := m.Assign[c]; q != p && q != Unassigned {
+				load += m.Inst.EdgeTraffic(c)
+			}
+		}
+		if par := tree.Ops[op].Parent; par != apptree.NoParent {
+			if q := m.Assign[par]; q != p && q != Unassigned {
+				load += m.Inst.EdgeTraffic(op)
+			}
+		}
+	}
+	return load
+}
+
+// freshDownloadLoad is DownloadLoad re-summed from the Assign vector.
+func (m *Mapping) freshDownloadLoad(p int) float64 {
+	s := m.scratchFor()
+	if !m.markNeeded(p, s.objSeen) {
+		return 0
+	}
+	load := 0.0
+	for k, seen := range s.objSeen {
+		if seen {
+			load += m.Inst.Rate(k)
+			s.objSeen[k] = false
+		}
+	}
+	return load
+}
+
+// CheckInvariants re-derives the incremental adjacency state (opsOn,
+// objRef) from the Assign vector and re-sums every per-processor load
+// with the historical full-walk implementations, failing on any
+// divergence. Load agreement is checked exactly (==, stronger than the
+// Eps capacity tolerance): the incremental queries fold in the same
+// canonical order as the fresh walks, so any difference at all is a
+// bookkeeping bug. Validate calls this on every complete mapping; the
+// differential property tests drive it after random mutation sequences.
+func (m *Mapping) CheckInvariants() error {
+	total := 0
+	for p := range m.Procs {
+		prev := -1
+		for _, op := range m.opsOn[p] {
+			if op <= prev {
+				return fmt.Errorf("mapping: opsOn[%d] not strictly ascending: %v", p, m.opsOn[p])
+			}
+			prev = op
+			if op < 0 || op >= len(m.Assign) || m.Assign[op] != p {
+				return fmt.Errorf("mapping: opsOn[%d] lists operator %d assigned to %d", p, op, m.Assign[op])
+			}
+		}
+		total += len(m.opsOn[p])
+	}
+	assigned := 0
+	for _, p := range m.Assign {
+		if p != Unassigned {
+			assigned++
+		}
+	}
+	if assigned != total {
+		return fmt.Errorf("mapping: %d operators assigned but opsOn lists %d", assigned, total)
+	}
+	K := m.Inst.NumTypes
+	tree := m.Inst.Tree
+	s := m.scratchFor()
+	s.refCnt = xslice.Grow(s.refCnt, K)
+	for p := range m.Procs {
+		cnt := s.refCnt[:K]
+		for k := range cnt {
+			cnt[k] = 0
+		}
+		for _, op := range m.opsOn[p] {
+			for _, li := range tree.Ops[op].Leaves {
+				cnt[tree.Leaves[li].Object]++
+			}
+		}
+		base := p * K
+		for k := 0; k < K; k++ {
+			if cnt[k] != m.objRef[base+k] {
+				return fmt.Errorf("mapping: processor %d object %d refcount %d, want %d", p, k, m.objRef[base+k], cnt[k])
+			}
+		}
+		if got, want := m.ComputeLoad(p), m.freshComputeLoad(p); got != want {
+			return fmt.Errorf("mapping: processor %d cached compute load %v, fresh %v", p, got, want)
+		}
+		if got, want := m.CommLoad(p), m.freshCommLoad(p); got != want {
+			return fmt.Errorf("mapping: processor %d cached comm load %v, fresh %v", p, got, want)
+		}
+		if got, want := m.DownloadLoad(p), m.freshDownloadLoad(p); got != want {
+			return fmt.Errorf("mapping: processor %d cached download load %v, fresh %v", p, got, want)
+		}
+	}
+	return nil
+}
+
 // Validate re-checks the complete mapping from scratch:
 //
 //   - every operator assigned to an alive processor,
+//   - the incremental adjacency state matches a fresh re-derivation and
+//     every cached load a fresh re-summation (CheckInvariants),
 //   - every needed object of every processor has a selected server that
 //     actually holds the object (and no spurious downloads),
 //   - constraints (1) through (5).
@@ -594,6 +826,9 @@ func (m *Mapping) Validate() error {
 		if p < 0 || p >= len(m.Procs) || !m.Procs[p].Alive {
 			return fmt.Errorf("mapping: operator %d on invalid processor %d", op, p)
 		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		return err
 	}
 	s := m.scratchFor()
 	for p := range m.Procs {

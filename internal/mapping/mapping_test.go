@@ -1,7 +1,9 @@
 package mapping
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/apptree"
@@ -374,6 +376,137 @@ func TestGeneratedInstanceSingleProcessor(t *testing.T) {
 	m := fullValidMapping(t, in)
 	if err := m.Validate(); err != nil {
 		t.Fatalf("generated instance mapping invalid: %v", err)
+	}
+}
+
+// TestIncrementalMatchesFresh is the differential property test behind
+// the incremental-load rebuild: after arbitrary random sequences of
+// Buy/Sell/Place/Unplace/TryPlace/MoveAll, every cached per-processor
+// load must equal a fresh full-walk re-summation bit-for-bit, the
+// adjacency state must re-derive exactly from the Assign vector
+// (CheckInvariants), and the public queries must agree with reference
+// implementations computed from first principles.
+func TestIncrementalMatchesFresh(t *testing.T) {
+	for _, n := range []int{1, 4, 12, 40, 90} {
+		for seed := int64(1); seed <= 4; seed++ {
+			in := instance.Generate(instance.Config{NumOps: n, Alpha: 0.9}, seed)
+			r := rand.New(rand.NewSource(seed*1000 + int64(n)))
+			m := New(in)
+			check := func(step string) {
+				t.Helper()
+				if err := m.CheckInvariants(); err != nil {
+					t.Fatalf("N=%d seed=%d after %s: %v", n, seed, step, err)
+				}
+				for p := range m.Procs {
+					if got, want := m.NumOpsOn(p), len(m.OpsOn(p)); got != want {
+						t.Fatalf("N=%d seed=%d after %s: NumOpsOn(%d)=%d, OpsOn len %d", n, seed, step, p, got, want)
+					}
+					// NeededObjects must match a fresh recount of the
+					// leaf objects of the operators on p.
+					fresh := map[int]bool{}
+					for _, op := range m.OpsOn(p) {
+						for _, k := range in.Tree.LeafObjects(op) {
+							fresh[k] = true
+						}
+					}
+					got := m.NeededObjects(p)
+					if len(got) != len(fresh) {
+						t.Fatalf("N=%d seed=%d after %s: NeededObjects(%d)=%v, fresh %v", n, seed, step, p, got, fresh)
+					}
+					for _, k := range got {
+						if !fresh[k] {
+							t.Fatalf("N=%d seed=%d after %s: NeededObjects(%d) lists %d not in fresh set", n, seed, step, p, k)
+						}
+					}
+				}
+			}
+			for step := 0; step < 300; step++ {
+				op := r.Intn(n)
+				switch r.Intn(6) {
+				case 0:
+					m.Buy(in.Platform.Catalog.MostExpensive())
+				case 1: // sell a random empty processor, if any
+					for _, p := range m.AliveProcs() {
+						if m.NumOpsOn(p) == 0 {
+							m.Sell(p)
+							break
+						}
+					}
+				case 2:
+					if alive := m.AliveProcs(); len(alive) > 0 {
+						m.Place(op, alive[r.Intn(len(alive))])
+					}
+				case 3:
+					m.Unplace(op)
+				case 4:
+					if alive := m.AliveProcs(); len(alive) > 0 {
+						m.TryPlace(alive[r.Intn(len(alive))], op)
+					}
+				case 5:
+					if alive := m.AliveProcs(); len(alive) >= 2 {
+						m.MoveAll(alive[r.Intn(len(alive))], alive[r.Intn(len(alive))])
+					}
+				}
+				if step%23 == 0 || step == 299 {
+					check(fmt.Sprintf("step %d", step))
+				}
+			}
+			// Drive the mapping to completion and require full Validate
+			// (which re-runs CheckInvariants) to pass.
+			p := m.Buy(in.Platform.Catalog.MostExpensive())
+			complete := true
+			for op := 0; op < n; op++ {
+				if m.OpProc(op) == Unassigned && !m.TryPlace(p, op) {
+					complete = false
+				}
+			}
+			check("completion")
+			if complete {
+				for _, q := range m.AliveProcs() {
+					for _, k := range m.NeededObjects(q) {
+						m.SelectServer(q, k, in.Holders[k][0])
+					}
+				}
+				if err := m.Validate(); err != nil && m.Complete() {
+					// Validation may legitimately fail on capacity (the
+					// random construction is not a heuristic), but never
+					// on bookkeeping: invariants were already checked.
+					if ierr := m.CheckInvariants(); ierr != nil {
+						t.Fatalf("N=%d seed=%d: invariants broken at validation: %v", n, seed, ierr)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTryPlaceRollbackRestoresCaches pins the rollback path: a failed
+// TryPlace must leave the incremental state exactly as before, including
+// after multi-operator moves that detach operators from other processors.
+func TestTryPlaceRollbackRestoresCaches(t *testing.T) {
+	in := fixedInstance()
+	in.Platform.ProcLinkMBps = 10 // delta(n1)=30 > 10: crossing edges fail
+	m := New(in)
+	p := m.Buy(bestConfig(in))
+	q := m.Buy(bestConfig(in))
+	if !m.TryPlace(p, 0) || !m.TryPlace(p, 1) {
+		t.Fatal("setup placements must fit")
+	}
+	before := []float64{m.ComputeLoad(p), m.CommLoad(p), m.DownloadLoad(p)}
+	if m.TryPlace(q, 4) {
+		t.Fatal("crossing placement must fail on the 10 MB/s link")
+	}
+	after := []float64{m.ComputeLoad(p), m.CommLoad(p), m.DownloadLoad(p)}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("rollback changed cached load %d: %v -> %v", i, before[i], after[i])
+		}
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after rollback: %v", err)
+	}
+	if got := m.NumOpsOn(q); got != 0 {
+		t.Fatalf("rolled-back processor hosts %d operators", got)
 	}
 }
 

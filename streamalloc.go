@@ -1,38 +1,3 @@
-// Package streamalloc is a Go reproduction of "Resource Allocation
-// Strategies for Constructive In-Network Stream Processing" (Benoit,
-// Casanova, Rehn-Sonigo, Robert — IPDPS/APDCM 2009).
-//
-// The library answers the paper's question: given an application that is a
-// binary tree of operators over continuously-updated basic objects, which
-// processors should be purchased from a price catalog, and how should
-// operators be mapped onto them, so that a target result throughput rho is
-// sustained at minimum platform cost?
-//
-// # Quick start
-//
-//	in := streamalloc.Generate(streamalloc.InstanceConfig{NumOps: 40, Alpha: 0.9}, 42)
-//	var solver streamalloc.Solver
-//	res, err := solver.Best(in)         // cheapest feasible mapping
-//	rep, err := streamalloc.Verify(res, streamalloc.SimOptions{}) // run it
-//
-// # Components
-//
-// The public surface re-exports the internal packages:
-//
-//   - instance generation per the paper's Section 5 methodology,
-//   - the six placement heuristics of Section 4 plus server selection and
-//     the downgrade step,
-//   - independent constraint validation (Section 2.3, equations (1)-(5)),
-//   - cost lower bounds, an exact solver and an ILP (CPLEX substitute)
-//     for small homogeneous instances,
-//   - a discrete-event stream engine that executes mappings and measures
-//     the throughput they sustain,
-//   - a first-class sweep subsystem (Grid, see sweep.go): streaming
-//     cells in deterministic order, exact Shard partitioning across
-//     machines, an opt-in per-cell verification column, and multi-tenant
-//     workloads via Combine,
-//   - the experiment harness that regenerates every figure and table on
-//     that same engine.
 package streamalloc
 
 import (
