@@ -1,14 +1,15 @@
 # CI and humans invoke identical commands: .github/workflows/ci.yml runs
-# `make lint build test race bench sweep-smoke docs-check` in the main
-# job, `make vuln` for the vulnerability scan, and `make bench-json
-# bench-compare` in the bench-compare job — and nothing else.
+# `make lint build test race bench sweep-smoke serve-smoke docs-check`
+# in the main job, `make staticcheck vuln` for the deeper static and
+# vulnerability scans, and `make bench-json bench-compare` in the
+# bench-compare job — and nothing else.
 
 GO ?= go
 
 # Steadier perf numbers: every bench entry runs 3x its base iterations.
 BENCH_ITERS_SCALE ?= 3
 
-.PHONY: build test race bench bench-json bench-compare bench-baseline fmt lint vuln ci sweep-smoke docs-check
+.PHONY: build test race bench bench-json bench-compare bench-baseline fmt lint staticcheck vuln ci sweep-smoke serve-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -56,6 +57,14 @@ sweep-smoke:
 	@echo "sweep-smoke: sharded merge byte-identical to the unsharded run"
 	rm -rf $(SWEEP_SMOKE_DIR)
 
+# Allocation-daemon smoke test: build cmd/serve, boot it on an
+# ephemeral port, hit /healthz, /v1/solve and /v1/verify over real
+# HTTP, diff the responses against the goldens the unit tests pin, and
+# require a clean exit 0 on SIGTERM graceful drain.
+SERVE_SMOKE_DIR ?= .serve-smoke
+serve-smoke:
+	SERVE_SMOKE_DIR=$(SERVE_SMOKE_DIR) GO=$(GO) sh scripts/serve_smoke.sh
+
 # Documentation gate: every non-main package must carry a "// Package
 # <name> ..." godoc comment, and every local link in README.md and
 # docs/*.md must point at an existing file. Links resolve relative to
@@ -88,8 +97,13 @@ lint:
 		echo "gofmt needed on:"; echo "$$fmtdiff"; exit 1; fi
 	$(GO) vet ./...
 
+# Deeper static analysis than go vet (needs network access to fetch
+# the tool; CI runs it as its own lint step).
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@latest ./...
+
 # Known-vulnerability scan over all dependencies (needs network access).
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-ci: lint build test race bench sweep-smoke docs-check
+ci: lint build test race bench sweep-smoke serve-smoke docs-check

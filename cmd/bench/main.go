@@ -1,6 +1,6 @@
 // Command bench is the repository's perf harness: it times the solve,
-// sweep and simulate hot paths over a canonical pinned-seed instance
-// corpus (core.CanonicalCorpus: N in {20, 60, 140, 300, 600} x alpha in
+// sweep, simulate and serve (allocation-daemon request) hot paths over
+// a canonical pinned-seed instance corpus (core.CanonicalCorpus: N in {20, 60, 140, 300, 600} x alpha in
 // {0.9, 1.7}) and emits a machine-readable JSON report — the artifact CI compares
 // against the committed BENCH_baseline.json to gate perf regressions.
 //
@@ -31,14 +31,17 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/apptree"
@@ -48,6 +51,7 @@ import (
 	"repro/internal/instance"
 	"repro/internal/multiapp"
 	"repro/internal/rng"
+	"repro/internal/serve"
 	"repro/internal/stream"
 )
 
@@ -294,6 +298,51 @@ func run(seeds, itersScale int) (*Report, error) {
 	add(measure("sweep/fig2a/workers=4", 2*itersScale, false, func() {
 		experiments.Fig2a(experiments.Config{Seeds: 1, BaseSeed: 1, Workers: 4})
 	}))
+
+	// Serve: the allocation daemon's solve endpoint through the real
+	// handler stack — parse, admission queue, worker arena, render —
+	// serial (alloc-gated: one warmed worker, deterministic request
+	// rotation) and with four concurrent clients against four workers
+	// (throughput trend; scheduler-dependent, so not alloc-gated).
+	{
+		bodies := make([][]byte, 0, seeds)
+		for s := 1; s <= seeds; s++ {
+			bodies = append(bodies, []byte(fmt.Sprintf(`{"ref":{"n":60,"alpha":0.9,"seed":%d}}`, s)))
+		}
+		srv := serve.New(serve.Config{Workers: 1, QueueDepth: 8})
+		i := 0
+		name := "serve/solve/workers=1"
+		add(measure(name, 10*itersScale, true, func() {
+			req := httptest.NewRequest("POST", "/v1/solve", bytes.NewReader(bodies[i%len(bodies)]))
+			i++
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				panic(fmt.Sprintf("%s: status %d: %s", name, rec.Code, rec.Body.String()))
+			}
+		}))
+		srv.Close()
+
+		srv4 := serve.New(serve.Config{Workers: 4, QueueDepth: 16})
+		name4 := "serve/solve/workers=4"
+		add(measure(name4, 10*itersScale, false, func() {
+			var wg sync.WaitGroup
+			for c := 0; c < 4; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					req := httptest.NewRequest("POST", "/v1/solve", bytes.NewReader(bodies[c%len(bodies)]))
+					rec := httptest.NewRecorder()
+					srv4.ServeHTTP(rec, req)
+					if rec.Code != 200 {
+						panic(fmt.Sprintf("%s: status %d: %s", name4, rec.Code, rec.Body.String()))
+					}
+				}(c)
+			}
+			wg.Wait()
+		}))
+		srv4.Close()
+	}
 
 	// Multi-tenant sweep: the Grid engine over multiapp.Combine
 	// workloads — two tenants per cell, one shared platform — serial and

@@ -1,0 +1,109 @@
+// Command serve runs the streamalloc allocation daemon: an HTTP server
+// exposing the solve pipeline (POST /v1/solve), stream-engine
+// verification (POST /v1/verify), liveness (GET /healthz) and counters
+// (GET /statsz) on a fixed-size pool of workers with warmed per-worker
+// arenas. See internal/serve for the endpoint contracts and README
+// "Server" for examples.
+//
+// Usage:
+//
+//	serve [-addr :8080] [-workers W] [-queue Q] [-timeout D] [-max-timeout D]
+//	      [-max-ops N] [-port-file PATH]
+//
+// The daemon stops accepting connections on SIGINT/SIGTERM, finishes
+// every in-flight and queued request, drains the worker pool and exits
+// 0 — smoke tests assert exactly that. With -addr host:0 the kernel
+// picks the port; -port-file publishes the bound address for scripts.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers    = flag.Int("workers", 0, "solve workers, each with its own warmed arena (0: one per CPU)")
+		queue      = flag.Int("queue", 0, "admission queue depth before 429 shedding (0: 4x workers)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+		maxTimeout = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+		maxOps     = flag.Int("max-ops", 2000, "largest accepted instance, in operators")
+		portFile   = flag.String("port-file", "", "write the bound listen address to this file once serving")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *portFile, serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxOps:         *maxOps,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, portFile string, cfg serve.Config) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	pool := serve.New(cfg)
+	httpSrv := &http.Server{
+		Handler:           pool,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	if portFile != "" {
+		// Written after Listen succeeded, so a reader that sees the file
+		// can connect immediately.
+		if err := os.WriteFile(portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			pool.Close()
+			return fmt.Errorf("writing -port-file: %w", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "serve: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		pool.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "serve: draining (signal received)")
+
+	// Stop accepting and wait for in-flight handlers — each blocked on
+	// its queued job — then drain the worker pool itself.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		pool.Close()
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	pool.Close()
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "serve: drained, exiting")
+	return nil
+}

@@ -190,21 +190,42 @@ func NewSolveContext() *SolveContext { return &SolveContext{} }
 // only until the next Solve on this context, so callers that keep a
 // mapping must Clone it. Solutions are bit-for-bit identical to the
 // allocating path; only the storage ownership changes. The package-level
-// Solve never enables reuse: its results escape to unknown callers.
+// Solve also runs on a pooled arena and clones the winning mapping out,
+// so its escaping results never pin pool-owned storage.
 func (c *SolveContext) SetReuse(on bool) { c.reuse = on }
 
 // solveCtxPool backs the package-level Solve so one-shot callers reuse
 // scratch across calls too (the same trick stream.Simulate plays with
-// its pooled runners).
-var solveCtxPool = sync.Pool{New: func() any { return NewSolveContext() }}
+// its pooled runners). The pooled contexts run with the mapping arena
+// enabled: building the solution in the arena and cloning it on the way
+// out is ~2x fewer allocations than constructing the incremental
+// adjacency on a fresh Mapping placement by placement (Clone copies the
+// finished opsOn/objRef state into right-sized one-shot slices).
+var solveCtxPool = sync.Pool{New: func() any {
+	c := NewSolveContext()
+	c.SetReuse(true)
+	return c
+}}
 
 // Solve runs placement, server selection and downgrade for one heuristic
-// and validates the outcome, borrowing a pooled SolveContext.
+// and validates the outcome, borrowing a pooled SolveContext. The solve
+// runs on the pooled context's arena and the returned Result holds an
+// independent clone of the mapping, so it is caller-owned with no
+// lifetime caveats — and bit-for-bit identical to a non-arena solve.
 func Solve(in *instance.Instance, h Heuristic, opts Options) (*Result, error) {
 	c := solveCtxPool.Get().(*SolveContext)
 	res, err := c.Solve(in, h, opts)
+	var out *Result
+	if err == nil {
+		out = &Result{
+			Heuristic: res.Heuristic,
+			Mapping:   res.Mapping.Clone(),
+			Cost:      res.Cost,
+			Procs:     res.Procs,
+		}
+	}
 	solveCtxPool.Put(c)
-	return res, err
+	return out, err
 }
 
 // Solve runs the full pipeline on the context's reusable scratch. With

@@ -321,3 +321,88 @@ func TestSolveContextReuseAllocs(t *testing.T) {
 		t.Fatalf("reused SolveContext allocates %.1f allocs/op, want <= 6", allocs)
 	}
 }
+
+// TestOneShotSolveMatchesNonArena pins the one-shot routing: the
+// package-level Solve runs on a pooled arena context and clones the
+// mapping out, and that must be indistinguishable from a plain
+// non-arena context solve — same cost, processor list, assignment and
+// download tables — while the returned mapping owns independent storage
+// that stays internally consistent after further pooled solves reuse
+// the arena it was cloned from.
+func TestOneShotSolveMatchesNonArena(t *testing.T) {
+	plain := NewSolveContext() // reuse off: the historical allocating path
+	hs := append(All(), SubtreeBottomUp{DisableFold: true})
+	for _, n := range []int{1, 5, 20, 60} {
+		for seed := int64(1); seed <= 3; seed++ {
+			in := instance.Generate(instance.Config{NumOps: n, Alpha: 0.9}, seed)
+			for _, h := range hs {
+				got, errA := Solve(in, h, Options{Seed: seed})
+				want, errB := plain.Solve(in, h, Options{Seed: seed})
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("%s N=%d seed=%d: one-shot err=%v, non-arena err=%v", h.Name(), n, seed, errA, errB)
+				}
+				if errA != nil {
+					continue
+				}
+				if got.Heuristic != want.Heuristic || got.Cost != want.Cost || got.Procs != want.Procs {
+					t.Fatalf("%s N=%d seed=%d: one-shot (%v, %d) != non-arena (%v, %d)",
+						h.Name(), n, seed, got.Cost, got.Procs, want.Cost, want.Procs)
+				}
+				for op := range want.Mapping.Assign {
+					if want.Mapping.Assign[op] != got.Mapping.Assign[op] {
+						t.Fatalf("%s N=%d seed=%d: op %d assigned %d, want %d",
+							h.Name(), n, seed, op, got.Mapping.Assign[op], want.Mapping.Assign[op])
+					}
+				}
+				if len(want.Mapping.Procs) != len(got.Mapping.Procs) {
+					t.Fatalf("%s N=%d seed=%d: proc lists differ in length", h.Name(), n, seed)
+				}
+				for p := range want.Mapping.Procs {
+					if want.Mapping.Procs[p] != got.Mapping.Procs[p] {
+						t.Fatalf("%s N=%d seed=%d: proc %d differs", h.Name(), n, seed, p)
+					}
+					dw, dg := want.Mapping.DL[p], got.Mapping.DL[p]
+					if len(dw) != len(dg) {
+						t.Fatalf("%s N=%d seed=%d: proc %d download tables differ", h.Name(), n, seed, p)
+					}
+					for k, l := range dw {
+						if dg[k] != l {
+							t.Fatalf("%s N=%d seed=%d: proc %d object %d server %d != %d",
+								h.Name(), n, seed, p, k, l, dg[k])
+						}
+					}
+				}
+				// The clone must be self-consistent storage of its own: the
+				// pooled arena it came from is reused by other solves in
+				// this very loop, so any aliasing shows up here.
+				if err := got.Mapping.CheckInvariants(); err != nil {
+					t.Fatalf("%s N=%d seed=%d: cloned mapping inconsistent: %v", h.Name(), n, seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestOneShotSolveAllocs pins the one-shot arena routing's allocation
+// win: a package-level Solve now costs one clone of the finished
+// mapping (right-sized slices plus the per-proc download tables), not
+// an incremental rebuild of the adjacency state on a fresh Mapping —
+// which paid roughly 2x this count in append growth.
+func TestOneShotSolveAllocs(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 60, Alpha: 0.9}, 1)
+	if _, err := Solve(in, SubtreeBottomUp{}, Options{Seed: 1}); err != nil {
+		t.Fatal(err) // warm the pooled context
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := Solve(in, SubtreeBottomUp{}, Options{Seed: 1}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Clone of the N=60 solution runs ~30 allocations (slices + one
+	// download table and operator list per purchased processor); the old
+	// fresh-Mapping path paid ~176. The slack above the measured count
+	// absorbs GC-timed sync.Pool refills, nothing else.
+	if allocs > 80 {
+		t.Fatalf("one-shot Solve allocates %.1f allocs/op, want <= 80", allocs)
+	}
+}

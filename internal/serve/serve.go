@@ -1,0 +1,314 @@
+// Package serve is the allocation daemon behind cmd/serve: it turns the
+// repository's near-zero-alloc solve pipeline into a long-running HTTP
+// service. A fixed-size pool of workers — each owning a warmed
+// per-worker arena (instance.Generator, heuristics.SolveContext with
+// SetReuse, stream.Runner), never shared, mirroring the per-worker
+// isolation of par.ForEachWorker — drains a bounded admission queue fed
+// by the HTTP handlers. When the queue is full the server sheds load
+// with 429 + Retry-After instead of building an unbounded backlog;
+// per-request deadlines ride the standard context cancellation, checked
+// between the portfolio's heuristics; Close drains gracefully (stop
+// admitting, finish in-flight, no goroutine outlives the call).
+//
+// Endpoints:
+//
+//	POST /v1/solve   instance spec or corpus ref -> best mapping + cost
+//	                 + per-heuristic breakdown (deterministic JSON:
+//	                 byte-identical at any worker count)
+//	POST /v1/verify  instance + mapping -> stream-engine verification
+//	GET  /healthz    liveness ("ok")
+//	GET  /statsz     JSON counters: requests, rejections, in-flight,
+//	                 p50/p99 latency, per-worker arena reuse stats
+//
+// Every response the solve and verify endpoints produce is a pure
+// function of the request body: workers carry no identity into results,
+// randomness is reseeded per request from the request's seed, and
+// portfolio ties break in the paper's fixed heuristic order.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/heuristics"
+)
+
+// Config tunes the daemon. The zero value serves with one worker per
+// CPU, a queue of four waiting requests per worker, a 10s default /
+// 60s maximum per-request deadline and a 2000-operator instance cap.
+type Config struct {
+	// Workers is the number of solve workers (and warmed arenas);
+	// <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a
+	// worker; beyond it the server sheds load with 429. <= 0 means
+	// 4*Workers.
+	QueueDepth int
+	// DefaultTimeout applies when a request carries no timeout_ms;
+	// <= 0 means 10s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines; <= 0 means 60s.
+	MaxTimeout time.Duration
+	// MaxOps rejects instances larger than this many operators with
+	// 413 before they reach a worker; <= 0 means 2000.
+	MaxOps int
+}
+
+// maxBodyBytes bounds request bodies; an inline 2000-operator instance
+// with full holder tables marshals well under this.
+const maxBodyBytes = 8 << 20
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxOps <= 0 {
+		c.MaxOps = 2000
+	}
+	return c
+}
+
+// Server is the allocation service: an http.Handler backed by the
+// worker pool. Create with New, serve via any http.Server, then Close
+// to drain. Safe for concurrent use by any number of HTTP goroutines.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan *job
+
+	mu       sync.RWMutex // guards draining vs. enqueue races
+	draining bool
+	wg       sync.WaitGroup // worker goroutines
+
+	stats   counters
+	lat     latencyWindow
+	workers []workerStats
+
+	// testHookJobStart, when set before any request arrives, runs on the
+	// worker goroutine at the start of every job; tests use it to hold
+	// workers busy deterministically (queue-full and deadline paths).
+	testHookJobStart func()
+}
+
+// New starts the worker pool and returns the ready-to-serve Server.
+// Each worker owns its arenas exclusively and warms them immediately,
+// so the first requests do not pay cold-buffer growth.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *job, cfg.QueueDepth),
+		workers: make([]workerStats, cfg.Workers),
+	}
+	s.stats.started = time.Now()
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		s.dispatch(w, r, jobSolve)
+	})
+	s.mux.HandleFunc("POST /v1/verify", func(w http.ResponseWriter, r *http.Request) {
+		s.dispatch(w, r, jobVerify)
+	})
+	s.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go s.worker(w)
+	}
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Handler returns the server's route mux (identical to using the
+// Server itself as an http.Handler).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the pool: no further requests are admitted (they get
+// 503), queued and in-flight requests finish and are answered, and
+// every worker goroutine has exited when Close returns. Safe to call
+// more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// admission is the outcome of trying to hand a job to the pool.
+type admission int
+
+const (
+	admitted admission = iota
+	admitFull
+	admitDraining
+)
+
+// enqueue offers the job to the pool without blocking. The read lock
+// orders it against Close: the queue can only be closed while no
+// enqueue is in flight, so sends never hit a closed channel.
+func (s *Server) enqueue(jb *job) admission {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.draining {
+		return admitDraining
+	}
+	select {
+	case s.queue <- jb:
+		return admitted
+	default:
+		return admitFull
+	}
+}
+
+// dispatch parses, admits and awaits one solve/verify request. Request
+// validation that needs no solver state (JSON shape, heuristic names,
+// size caps) happens here on the HTTP goroutine, so malformed traffic
+// never occupies a worker.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind jobKind) {
+	switch kind {
+	case jobSolve:
+		s.stats.solveReqs.Add(1)
+	case jobVerify:
+		s.stats.verifyReqs.Add(1)
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		s.clientError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	if len(body) > maxBodyBytes {
+		s.clientError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("body exceeds %d bytes", maxBodyBytes))
+		return
+	}
+	jb := &job{kind: kind, done: make(chan jobResult, 1)}
+	var timeoutMS int64
+	switch kind {
+	case jobSolve:
+		req, herr := parseSolveRequest(body, s.cfg.MaxOps)
+		if herr != nil {
+			s.clientError(w, herr.status, herr.msg)
+			return
+		}
+		jb.solve = req
+		timeoutMS = req.TimeoutMS
+	case jobVerify:
+		req, herr := parseVerifyRequest(body, s.cfg.MaxOps)
+		if herr != nil {
+			s.clientError(w, herr.status, herr.msg)
+			return
+		}
+		jb.verify = req
+		timeoutMS = req.TimeoutMS
+	}
+	timeout := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		timeout = time.Duration(timeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	jb.ctx = ctx
+
+	start := time.Now()
+	switch s.enqueue(jb) {
+	case admitDraining:
+		s.stats.rejectedDrain.Add(1)
+		w.Header().Set("Connection", "close")
+		s.clientError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case admitFull:
+		s.stats.rejectedFull.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.clientError(w, http.StatusTooManyRequests, "admission queue full")
+		return
+	}
+	select {
+	case res := <-jb.done:
+		s.lat.record(time.Since(start))
+		if res.status >= 500 {
+			s.stats.serverErr.Add(1)
+		} else if res.status >= 400 {
+			s.stats.clientErr.Add(1)
+		} else {
+			s.stats.ok.Add(1)
+		}
+		writeJSON(w, res.status, res.body)
+	case <-ctx.Done():
+		// The worker may still pick the job up; it will see the expired
+		// context, skip the solve and discard its buffered reply.
+		s.stats.timeouts.Add(1)
+		s.clientError(w, http.StatusGatewayTimeout,
+			fmt.Sprintf("deadline exceeded after %s", timeout))
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+// clientError writes a uniform JSON error envelope and counts it.
+func (s *Server) clientError(w http.ResponseWriter, status int, msg string) {
+	if status >= 500 {
+		s.stats.serverErr.Add(1)
+	} else {
+		s.stats.clientErr.Add(1)
+	}
+	body, _ := json.Marshal(errorResponse{Error: msg})
+	writeJSON(w, status, append(body, '\n'))
+}
+
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// errorResponse is the uniform error envelope of every non-200 answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// httpError carries a status+message pair out of request parsing.
+type httpError struct {
+	status int
+	msg    string
+}
+
+// heuristicsFor resolves a request's heuristic field: empty or "all"
+// means the paper's full portfolio, anything else one named heuristic.
+func heuristicsFor(name string) ([]heuristics.Heuristic, *httpError) {
+	if name == "" || name == "all" {
+		return heuristics.All(), nil
+	}
+	h, err := heuristics.ByName(name)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, err.Error()}
+	}
+	return []heuristics.Heuristic{h}, nil
+}

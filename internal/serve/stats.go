@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// counters are the server-wide monotonic counters behind /statsz.
+// Written with atomics from HTTP goroutines and workers; read without
+// coordination (a statsz snapshot need not be a consistent cut).
+type counters struct {
+	started       time.Time
+	solveReqs     atomic.Int64
+	verifyReqs    atomic.Int64
+	ok            atomic.Int64
+	clientErr     atomic.Int64
+	serverErr     atomic.Int64
+	rejectedFull  atomic.Int64
+	rejectedDrain atomic.Int64
+	timeouts      atomic.Int64
+	inFlight      atomic.Int64
+}
+
+// workerStats are one worker's counters; each worker writes only its
+// own entry, so there is no cross-worker contention.
+type workerStats struct {
+	jobs        atomic.Int64 // jobs taken off the queue
+	solves      atomic.Int64 // heuristic solves executed
+	sims        atomic.Int64 // stream-engine simulations executed
+	arenaReuses atomic.Int64 // solves served from an already-warm arena
+}
+
+// latencyWindow keeps the last windowSize request latencies (admitted
+// requests that completed, in milliseconds) and answers percentile
+// queries by copy-and-sort — cheap at this size, and the write path is
+// a single indexed store under the mutex.
+type latencyWindow struct {
+	mu    sync.Mutex
+	ring  [latencyWindowSize]float64
+	n     int   // filled entries, <= len(ring)
+	next  int   // write cursor
+	total int64 // lifetime completions
+}
+
+const latencyWindowSize = 1024
+
+func (l *latencyWindow) record(d time.Duration) {
+	ms := float64(d.Nanoseconds()) / 1e6
+	l.mu.Lock()
+	l.ring[l.next] = ms
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.total++
+	l.mu.Unlock()
+}
+
+// quantiles returns the window's p50 and p99 plus the lifetime count.
+func (l *latencyWindow) quantiles() (p50, p99 float64, total int64) {
+	l.mu.Lock()
+	buf := make([]float64, l.n)
+	copy(buf, l.ring[:l.n])
+	total = l.total
+	l.mu.Unlock()
+	if len(buf) == 0 {
+		return 0, 0, total
+	}
+	sort.Float64s(buf)
+	idx := func(q float64) float64 {
+		i := int(q * float64(len(buf)-1))
+		return buf[i]
+	}
+	return idx(0.50), idx(0.99), total
+}
+
+// statszResponse is the GET /statsz JSON document.
+type statszResponse struct {
+	UptimeS    float64 `json:"uptime_s"`
+	Workers    int     `json:"workers"`
+	QueueDepth int     `json:"queue_depth"`
+	Queued     int     `json:"queued"`
+	InFlight   int64   `json:"in_flight"`
+	Draining   bool    `json:"draining"`
+
+	SolveRequests    int64 `json:"solve_requests"`
+	VerifyRequests   int64 `json:"verify_requests"`
+	OK               int64 `json:"ok"`
+	ClientErrors     int64 `json:"client_errors"`
+	ServerErrors     int64 `json:"server_errors"`
+	Rejected429      int64 `json:"rejected_429"`
+	RejectedDraining int64 `json:"rejected_draining"`
+	Timeouts         int64 `json:"timeouts"`
+
+	Latency struct {
+		Count int64   `json:"count"`
+		P50MS float64 `json:"p50_ms"`
+		P99MS float64 `json:"p99_ms"`
+	} `json:"latency"`
+
+	PerWorker []workerStatsJSON `json:"per_worker"`
+}
+
+type workerStatsJSON struct {
+	Worker      int   `json:"worker"`
+	Jobs        int64 `json:"jobs"`
+	Solves      int64 `json:"solves"`
+	Sims        int64 `json:"sims"`
+	ArenaReuses int64 `json:"arena_reuses"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	draining := s.draining
+	s.mu.RUnlock()
+	resp := statszResponse{
+		UptimeS:    time.Since(s.stats.started).Seconds(),
+		Workers:    s.cfg.Workers,
+		QueueDepth: s.cfg.QueueDepth,
+		Queued:     len(s.queue),
+		InFlight:   s.stats.inFlight.Load(),
+		Draining:   draining,
+
+		SolveRequests:    s.stats.solveReqs.Load(),
+		VerifyRequests:   s.stats.verifyReqs.Load(),
+		OK:               s.stats.ok.Load(),
+		ClientErrors:     s.stats.clientErr.Load(),
+		ServerErrors:     s.stats.serverErr.Load(),
+		Rejected429:      s.stats.rejectedFull.Load(),
+		RejectedDraining: s.stats.rejectedDrain.Load(),
+		Timeouts:         s.stats.timeouts.Load(),
+	}
+	resp.Latency.P50MS, resp.Latency.P99MS, resp.Latency.Count = s.lat.quantiles()
+	for i := range s.workers {
+		ws := &s.workers[i]
+		resp.PerWorker = append(resp.PerWorker, workerStatsJSON{
+			Worker:      i,
+			Jobs:        ws.jobs.Load(),
+			Solves:      ws.solves.Load(),
+			Sims:        ws.sims.Load(),
+			ArenaReuses: ws.arenaReuses.Load(),
+		})
+	}
+	body, err := json.MarshalIndent(&resp, "", "  ")
+	if err != nil {
+		s.clientError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, append(body, '\n'))
+}

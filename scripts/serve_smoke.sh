@@ -1,0 +1,85 @@
+#!/usr/bin/env sh
+# serve_smoke.sh — end-to-end smoke test for the cmd/serve daemon.
+#
+# Builds the real binary, boots it on an ephemeral port, exercises
+# /healthz, /v1/solve and /v1/verify over actual HTTP, diffs the solve
+# and verify responses against the same committed goldens the unit
+# tests pin (internal/serve/testdata), and asserts a clean exit 0 on
+# SIGTERM-driven graceful drain. Run via `make serve-smoke`.
+set -eu
+
+GO=${GO:-go}
+DIR=${SERVE_SMOKE_DIR:-.serve-smoke}
+TESTDATA=internal/serve/testdata
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    exit 1
+}
+
+cleanup() {
+    if [ -n "${SERVE_PID:-}" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill -KILL "$SERVE_PID" 2>/dev/null || true
+    fi
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+"$GO" build -o "$DIR/serve" ./cmd/serve
+
+"$DIR/serve" -addr 127.0.0.1:0 -workers 2 -port-file "$DIR/port" \
+    2>"$DIR/serve.log" &
+SERVE_PID=$!
+
+# The daemon writes -port-file only after Listen succeeded.
+i=0
+while [ ! -s "$DIR/port" ]; do
+    kill -0 "$SERVE_PID" 2>/dev/null || {
+        cat "$DIR/serve.log" >&2
+        fail "daemon exited before publishing its port"
+    }
+    i=$((i + 1))
+    [ "$i" -le 100 ] || fail "daemon did not publish a port within 10s"
+    sleep 0.1
+done
+ADDR=$(head -n1 "$DIR/port")
+
+curl -fsS "http://$ADDR/healthz" >"$DIR/healthz" ||
+    fail "GET /healthz did not answer 200"
+[ "$(cat "$DIR/healthz")" = "ok" ] || fail "unexpected /healthz body"
+
+# Solve: the live daemon must answer byte-identically to the golden the
+# httptest-driven unit tests pin (worker-count independent by contract).
+curl -fsS -X POST --data-binary "@$TESTDATA/solve_request.json" \
+    "http://$ADDR/v1/solve" >"$DIR/solve.json" ||
+    fail "POST /v1/solve did not answer 200"
+diff -u "$TESTDATA/solve_golden.json" "$DIR/solve.json" ||
+    fail "solve response differs from $TESTDATA/solve_golden.json"
+
+curl -fsS -X POST --data-binary "@$TESTDATA/verify_request.json" \
+    "http://$ADDR/v1/verify" >"$DIR/verify.json" ||
+    fail "POST /v1/verify did not answer 200"
+diff -u "$TESTDATA/verify_golden.json" "$DIR/verify.json" ||
+    fail "verify response differs from $TESTDATA/verify_golden.json"
+
+curl -fsS "http://$ADDR/statsz" >"$DIR/statsz.json" ||
+    fail "GET /statsz did not answer 200"
+grep -q '"ok": 2' "$DIR/statsz.json" ||
+    fail "/statsz does not count the 2 successful requests"
+
+# Graceful drain: SIGTERM must produce a clean exit 0.
+kill -TERM "$SERVE_PID"
+STATUS=0
+wait "$SERVE_PID" || STATUS=$?
+[ "$STATUS" -eq 0 ] || {
+    cat "$DIR/serve.log" >&2
+    fail "daemon exited $STATUS on SIGTERM, want 0"
+}
+grep -q "drained, exiting" "$DIR/serve.log" ||
+    fail "daemon log does not record the graceful drain"
+SERVE_PID=
+
+echo "serve-smoke: healthz/solve/verify golden-matched; SIGTERM drained cleanly"
