@@ -1,15 +1,15 @@
 # CI and humans invoke identical commands: .github/workflows/ci.yml runs
-# `make lint build test race bench sweep-smoke serve-smoke docs-check`
-# in the main job, `make staticcheck vuln` for the deeper static and
-# vulnerability scans, and `make bench-json bench-compare` in the
-# bench-compare job — and nothing else.
+# `make lint build test race bench sweep-smoke serve-smoke coord-smoke
+# docs-check` in the main job, `make staticcheck vuln` for the deeper
+# static and vulnerability scans, and `make bench-json bench-compare`
+# in the bench-compare job — and nothing else.
 
 GO ?= go
 
 # Steadier perf numbers: every bench entry runs 3x its base iterations.
 BENCH_ITERS_SCALE ?= 3
 
-.PHONY: build test race bench bench-json bench-compare bench-baseline fmt lint staticcheck vuln ci sweep-smoke serve-smoke docs-check
+.PHONY: build test race bench bench-json bench-compare bench-baseline fmt lint staticcheck vuln ci sweep-smoke serve-smoke coord-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -65,6 +65,16 @@ SERVE_SMOKE_DIR ?= .serve-smoke
 serve-smoke:
 	SERVE_SMOKE_DIR=$(SERVE_SMOKE_DIR) GO=$(GO) sh scripts/serve_smoke.sh
 
+# Distributed-coordinator smoke test: boot cmd/serve with short shard
+# leases, submit a 3-shard sweep job, run three real sweepworker
+# processes — one kill -KILL'd mid-shard, one straggler whose lease
+# expires and whose late result is discarded — and require the merged
+# figure output to be byte-identical to an unsharded single-process
+# run, with at least one lease re-offer and a clean SIGTERM drain.
+COORD_SMOKE_DIR ?= .coord-smoke
+coord-smoke:
+	COORD_SMOKE_DIR=$(COORD_SMOKE_DIR) GO=$(GO) sh scripts/coord_smoke.sh
+
 # Documentation gate: every non-main package must carry a "// Package
 # <name> ..." godoc comment, and every local link in README.md and
 # docs/*.md must point at an existing file. Links resolve relative to
@@ -106,4 +116,4 @@ staticcheck:
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-ci: lint build test race bench sweep-smoke serve-smoke docs-check
+ci: lint build test race bench sweep-smoke serve-smoke coord-smoke docs-check

@@ -44,7 +44,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/apptree"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/heuristics"
@@ -377,11 +376,14 @@ func multiTenantGrid() *experiments.Grid {
 		BaseSeed:   1,
 		Workers:    1,
 		Make: func(env *experiments.WorkerEnv, x float64, seed int64) (*instance.Instance, error) {
+			// Trees and the combined instance come from the worker's
+			// arenas (same streams, byte-identical cells), so the entry
+			// gates the whole multi-tenant cell at ~0 steady-state allocs.
 			apps := []multiapp.App{
-				{Tree: apptree.Random(rng.New(rng.SeedFor(seed, "dashboard")), 8, w.NumTypes), Rho: 1},
-				{Tree: apptree.Random(rng.New(rng.SeedFor(seed, "alerting")), 10, w.NumTypes), Rho: x},
+				{Tree: env.RandomTree(rng.SeedFor(seed, "dashboard"), 8, w.NumTypes), Rho: 1},
+				{Tree: env.RandomTree(rng.SeedFor(seed, "alerting"), 10, w.NumTypes), Rho: x},
 			}
-			return multiapp.Combine(apps, w)
+			return env.Combine(apps, w)
 		},
 	}
 }

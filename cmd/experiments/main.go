@@ -175,7 +175,7 @@ func runAll(cfg experiments.Config, only, out string) {
 	ran := 0
 	for _, id := range selectedFigures(only) {
 		ran++
-		fig, err := experiments.BuildFigure(id, cfg)
+		fig, err := experiments.BuildFigure(context.Background(), id, cfg)
 		if err != nil {
 			fatal(err)
 		}

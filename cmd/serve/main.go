@@ -1,14 +1,16 @@
 // Command serve runs the streamalloc allocation daemon: an HTTP server
 // exposing the solve pipeline (POST /v1/solve), stream-engine
-// verification (POST /v1/verify), liveness (GET /healthz) and counters
-// (GET /statsz) on a fixed-size pool of workers with warmed per-worker
-// arenas. See internal/serve for the endpoint contracts and README
-// "Server" for examples.
+// verification (POST /v1/verify), the distributed sweep coordinator
+// (POST /v1/sweep and lease routes; see internal/coord and command
+// sweepworker), liveness (GET /healthz) and counters (GET /statsz) on
+// a fixed-size pool of workers with warmed per-worker arenas. See
+// internal/serve for the endpoint contracts and README "Server" for
+// examples.
 //
 // Usage:
 //
 //	serve [-addr :8080] [-workers W] [-queue Q] [-timeout D] [-max-timeout D]
-//	      [-max-ops N] [-port-file PATH]
+//	      [-max-ops N] [-sweep-lease-ttl D] [-port-file PATH]
 //
 // The daemon stops accepting connections on SIGINT/SIGTERM, finishes
 // every in-flight and queued request, drains the worker pool and exits
@@ -39,6 +41,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 		maxTimeout = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
 		maxOps     = flag.Int("max-ops", 2000, "largest accepted instance, in operators")
+		sweepTTL   = flag.Duration("sweep-lease-ttl", 0, "default sweep shard lease deadline (0: coordinator default 30s)")
 		portFile   = flag.String("port-file", "", "write the bound listen address to this file once serving")
 	)
 	flag.Parse()
@@ -49,6 +52,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		MaxOps:         *maxOps,
+		SweepLeaseTTL:  *sweepTTL,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)

@@ -98,3 +98,36 @@ func ExampleCombine() {
 	// Output:
 	// two tenants on 1 processors, throughput meets target: true
 }
+
+// ExampleSubmitSweep submits a distributed figure sweep to a running
+// daemon (cmd/serve) and waits for the merged result — byte-identical
+// to building the figure in one process, no matter how many workers
+// computed it or how many of them failed mid-shard. This example is
+// not run: it needs a live daemon plus workers (cmd/sweepworker).
+func ExampleSubmitSweep() {
+	ctx := context.Background()
+	id, err := streamalloc.SubmitSweep(ctx, "http://127.0.0.1:8080", streamalloc.SweepJob{
+		Figure: "fig2a", // any of streamalloc.FigureIDs()
+		Seeds:  10,
+		Shards: 8, // eight leaseable work units
+	})
+	if err != nil {
+		panic(err)
+	}
+	dat, err := streamalloc.AwaitSweep(ctx, "http://127.0.0.1:8080", id)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(dat) > 0)
+}
+
+// ExampleSweepWorker runs an in-process sweep worker against a
+// daemon: it claims shard leases with backoff and jitter, heartbeats
+// renewals while computing, and exits once no work remains. The
+// sweepworker command is this loop as a standalone binary. This
+// example is not run: it needs a live daemon.
+func ExampleSweepWorker() {
+	err := streamalloc.SweepWorker(context.Background(), "http://127.0.0.1:8080",
+		streamalloc.SweepWorkerOptions{Name: "w1", ExitIdle: true})
+	fmt.Println(err == nil)
+}

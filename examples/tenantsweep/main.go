@@ -56,11 +56,15 @@ func main() {
 		Shard:      shard,
 		Verify:     &streamalloc.SimOptions{Results: 60},
 		Make: func(env *streamalloc.WorkerEnv, x float64, seed int64) (*streamalloc.Instance, error) {
+			// env.RandomTree/env.Combine build each cell's tenants on the
+			// worker's reusable arenas — same random streams as the
+			// one-shot RandomTree/Combine, so output is unchanged, but a
+			// long sweep stops paying per-cell tree construction.
 			apps := []streamalloc.App{
-				{Tree: streamalloc.RandomTree(streamalloc.SeedFor(seed, "dashboard"), 8, w.NumTypes), Rho: 1},
-				{Tree: streamalloc.RandomTree(streamalloc.SeedFor(seed, "alerting"), 12, w.NumTypes), Rho: x},
+				{Tree: env.RandomTree(streamalloc.SeedFor(seed, "dashboard"), 8, w.NumTypes), Rho: 1},
+				{Tree: env.RandomTree(streamalloc.SeedFor(seed, "alerting"), 12, w.NumTypes), Rho: x},
 			}
-			return streamalloc.Combine(apps, w)
+			return env.Combine(apps, w)
 		},
 	}
 

@@ -1,0 +1,228 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a coordinator mounted in a streamalloc daemon
+// (cmd/serve). Methods map HTTP statuses back onto the package's
+// sentinel errors, so worker loops can branch with errors.Is exactly
+// as they would against an in-process Coordinator.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a Client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// doJSON issues one request and decodes a JSON reply into out (unless
+// out is nil or the status is 204). Non-2xx replies become errors
+// carrying the server's {"error": ...} message.
+func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return resp.StatusCode, fmt.Errorf("%s %s: %s", method, path, e.Error)
+		}
+		return resp.StatusCode, fmt.Errorf("%s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("%s %s: decoding reply: %w", method, path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// Submit registers a sweep job and returns its id.
+func (c *Client) Submit(ctx context.Context, job SweepJob) (string, error) {
+	var out submitResponse
+	if _, err := c.doJSON(ctx, http.MethodPost, "/v1/sweep", job, &out); err != nil {
+		return "", err
+	}
+	return out.ID, nil
+}
+
+// Progress fetches a job's progress snapshot.
+func (c *Client) Progress(ctx context.Context, jobID string) (*Progress, error) {
+	var out Progress
+	status, err := c.doJSON(ctx, http.MethodGet, "/v1/sweep/"+jobID, nil, &out)
+	if status == http.StatusNotFound {
+		return nil, ErrUnknownJob
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Claim asks for a lease — on jobID when non-empty, otherwise on any
+// running job. Returns ErrNoWork (204) when nothing is claimable and
+// ErrJobDone (410) when a named job has finished.
+func (c *Client) Claim(ctx context.Context, jobID, worker string) (*Lease, error) {
+	path := "/v1/sweep/lease"
+	if jobID != "" {
+		path = "/v1/sweep/" + jobID + "/lease"
+	}
+	var out Lease
+	status, err := c.doJSON(ctx, http.MethodPost, path, claimRequest{Worker: worker}, &out)
+	switch status {
+	case http.StatusNoContent:
+		return nil, ErrNoWork
+	case http.StatusGone:
+		return nil, ErrJobDone
+	case http.StatusNotFound:
+		return nil, ErrUnknownJob
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Renew extends a lease, returning the fresh TTL. ErrLeaseLost means
+// the shard was re-leased or completed by someone else; abandon it.
+func (c *Client) Renew(ctx context.Context, l *Lease) (time.Duration, error) {
+	var out renewResponse
+	status, err := c.doJSON(ctx, http.MethodPost, "/v1/sweep/"+l.Job+"/renew",
+		renewRequest{Shard: l.Shard, Token: l.Token}, &out)
+	switch status {
+	case http.StatusConflict:
+		return 0, ErrLeaseLost
+	case http.StatusNotFound:
+		return 0, ErrUnknownJob
+	}
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(out.TTLMS) * time.Millisecond, nil
+}
+
+// Complete submits a shard's encoded cells under the lease. A
+// duplicate (someone else's result was already accepted) returns
+// ErrDuplicate; ErrLeaseLost means the lease was re-issued and the
+// result was refused.
+func (c *Client) Complete(ctx context.Context, l *Lease, worker string, cells []byte) error {
+	var out completeResponse
+	status, err := c.doJSON(ctx, http.MethodPost, "/v1/sweep/"+l.Job+"/complete",
+		completeRequest{Shard: l.Shard, Token: l.Token, Worker: worker, Cells: string(cells)}, &out)
+	switch status {
+	case http.StatusConflict:
+		return ErrLeaseLost
+	case http.StatusNotFound:
+		return ErrUnknownJob
+	}
+	if err != nil {
+		return err
+	}
+	if out.Duplicate {
+		return ErrDuplicate
+	}
+	return nil
+}
+
+// Result fetches the merged figure's .dat text; ErrNotDone while
+// shards are still outstanding.
+func (c *Client) Result(ctx context.Context, jobID string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/sweep/"+jobID+"/result", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return "", err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return string(raw), nil
+	case http.StatusConflict:
+		return "", ErrNotDone
+	case http.StatusNotFound:
+		return "", ErrUnknownJob
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return "", errors.New(e.Error)
+	}
+	return "", fmt.Errorf("GET /v1/sweep/%s/result: status %d", jobID, resp.StatusCode)
+}
+
+// Await polls a job until it finishes (default every 250ms) and
+// returns the merged .dat text. It respects ctx for cancellation.
+func (c *Client) Await(ctx context.Context, jobID string, poll time.Duration) (string, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		p, err := c.Progress(ctx, jobID)
+		if err != nil {
+			return "", err
+		}
+		switch p.State {
+		case "done":
+			return c.Result(ctx, jobID)
+		case "failed":
+			return "", fmt.Errorf("coord: job %s failed: %s", jobID, p.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-t.C:
+		}
+	}
+}

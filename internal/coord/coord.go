@@ -1,0 +1,529 @@
+// Package coord is the fault-tolerant distributed sweep coordinator:
+// it decomposes a figure-sized Grid run into shard work units, hands
+// them to workers as leases with deadlines, re-leases shards whose
+// lease expired (worker died, or a straggler that stopped renewing),
+// deduplicates double-completions by accepting the first result per
+// shard, and folds the completed shard cells into the figure with the
+// byte-identical experiments.MergeFigure reduction.
+//
+// Fault tolerance is nearly free because every shard is idempotent:
+// per-cell seeds are pure functions of grid coordinates (rng.SeedFor),
+// so any two workers computing the same shard produce cell-for-cell
+// identical results and the coordinator may accept whichever lands
+// first — a late straggler's duplicate is simply discarded. The state
+// machine per shard is
+//
+//	pending ──Claim──► leased ──Complete──► done
+//	   ▲                  │
+//	   └──deadline passed─┘   (re-lease; Releases counter)
+//
+// The Coordinator is purely reactive bookkeeping: it owns no
+// goroutines and no timers (lease expiry is evaluated lazily on every
+// claim/progress/renew), so a server embedding one has nothing extra
+// to drain on shutdown. internal/serve mounts it under POST /v1/sweep
+// and friends; Client and RunWorker are the matching worker side.
+package coord
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes (and Client
+// maps back); test with errors.Is.
+var (
+	// ErrUnknownJob: the job id was never submitted (404).
+	ErrUnknownJob = errors.New("coord: unknown job")
+	// ErrNoWork: no shard is currently claimable — all leased or done;
+	// poll again later (204).
+	ErrNoWork = errors.New("coord: no work available")
+	// ErrJobDone: the job has finished; per-job workers should exit (410).
+	ErrJobDone = errors.New("coord: job is done")
+	// ErrLeaseLost: the lease token is not the shard's current lease —
+	// it expired and was re-issued, or the shard completed (409).
+	ErrLeaseLost = errors.New("coord: lease lost")
+	// ErrNotDone: the merged result was requested before every shard
+	// landed (409).
+	ErrNotDone = errors.New("coord: job not done yet")
+	// ErrDuplicate wraps a completion for a shard that already has a
+	// result; the coordinator keeps the first and discards this one (200,
+	// flagged). Harmless by the determinism contract.
+	ErrDuplicate = errors.New("coord: shard already completed")
+	// ErrTooManyJobs: the live-jobs bound was hit (429).
+	ErrTooManyJobs = errors.New("coord: too many live jobs")
+)
+
+// Config tunes a Coordinator. The zero value is serviceable: 30s
+// leases capped at 5m, at most 256 shards per job and 64 live jobs.
+type Config struct {
+	// DefaultLeaseTTL applies when a job's spec carries no lease_ttl_ms.
+	DefaultLeaseTTL time.Duration
+	// MaxLeaseTTL caps client-requested lease TTLs.
+	MaxLeaseTTL time.Duration
+	// MaxShards bounds a job's shard count.
+	MaxShards int
+	// MaxJobs bounds jobs retained in memory (running and finished).
+	MaxJobs int
+	// Now overrides the clock; nil means time.Now. Tests drive lease
+	// expiry deterministically through it.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultLeaseTTL <= 0 {
+		c.DefaultLeaseTTL = 30 * time.Second
+	}
+	if c.MaxLeaseTTL <= 0 {
+		c.MaxLeaseTTL = 5 * time.Minute
+	}
+	if c.MaxShards <= 0 {
+		c.MaxShards = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 64
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// shardState is one shard's position in the lease state machine.
+type shardState int
+
+const (
+	shardPending shardState = iota
+	shardLeased
+	shardDone
+)
+
+func (s shardState) String() string {
+	switch s {
+	case shardPending:
+		return "pending"
+	case shardLeased:
+		return "leased"
+	default:
+		return "done"
+	}
+}
+
+// shard is the coordinator-side record of one work unit.
+type shard struct {
+	state    shardState
+	token    string    // current lease token (shardLeased only)
+	worker   string    // current/last lessee
+	deadline time.Time // current lease deadline
+	leases   int       // leases ever granted (>1 means re-leased)
+	renewals int
+	cells    []byte // encoded ShardCells once done
+	doneBy   string // worker whose result was accepted
+}
+
+// job is one submitted sweep with its shard table.
+type job struct {
+	id     string
+	spec   SweepJob // normalized
+	ttl    time.Duration
+	shards []shard
+	done   int // shards in shardDone
+
+	merged   bool
+	dat      []byte // merged Figure.Dat bytes
+	failed   string // merge error (determinism bug — should never happen)
+	mergeDur time.Duration
+
+	releases   int // leases expired and made claimable again
+	duplicates int // completions discarded because the shard was done
+}
+
+func (j *job) finished() bool { return j.merged || j.failed != "" }
+
+// Coordinator schedules sweep jobs over leases. Safe for concurrent
+// use; create with New.
+type Coordinator struct {
+	cfg Config
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, for any-job claims
+	seq   int      // job-id and lease-token counter
+
+	// lifetime counters (mu-guarded; see StatsSnapshot)
+	stats SweepStats
+}
+
+// New returns an empty Coordinator.
+func New(cfg Config) *Coordinator {
+	return &Coordinator{cfg: cfg.withDefaults(), jobs: make(map[string]*job)}
+}
+
+// Submit validates and registers a sweep job, returning its id. Shard
+// decomposition is immediate: the job's shards are claimable as soon
+// as Submit returns.
+func (c *Coordinator) Submit(spec SweepJob) (string, error) {
+	if err := validFigure(spec.Figure); err != nil {
+		return "", err
+	}
+	if spec.Seeds < 0 {
+		return "", fmt.Errorf("coord: seeds must be >= 0 (0 means the default 10), got %d", spec.Seeds)
+	}
+	if spec.Seeds == 0 {
+		spec.Seeds = 10 // the experiments.Config default, pinned here so leases are explicit
+	}
+	if spec.Shards < 1 || spec.Shards > c.cfg.MaxShards {
+		return "", fmt.Errorf("coord: shards must be in [1, %d], got %d", c.cfg.MaxShards, spec.Shards)
+	}
+	ttl := c.cfg.DefaultLeaseTTL
+	if spec.LeaseTTLMS > 0 {
+		ttl = time.Duration(spec.LeaseTTLMS) * time.Millisecond
+		if ttl > c.cfg.MaxLeaseTTL {
+			ttl = c.cfg.MaxLeaseTTL
+		}
+	}
+	spec.LeaseTTLMS = ttl.Milliseconds()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.jobs) >= c.cfg.MaxJobs {
+		return "", ErrTooManyJobs
+	}
+	c.seq++
+	j := &job{
+		id:     fmt.Sprintf("j%d", c.seq),
+		spec:   spec,
+		ttl:    ttl,
+		shards: make([]shard, spec.Shards),
+	}
+	c.jobs[j.id] = j
+	c.order = append(c.order, j.id)
+	c.stats.JobsSubmitted++
+	return j.id, nil
+}
+
+// validFigure rejects unknown figure ids before any worker burns a
+// lease on them.
+func validFigure(id string) error {
+	for _, known := range experiments.FigureIDs() {
+		if id == known {
+			return nil
+		}
+	}
+	return fmt.Errorf("coord: unknown figure %q (have %v)", id, experiments.FigureIDs())
+}
+
+// expireLeases returns every over-deadline lease of j to the pending
+// pool. Called under mu with the current time; lazy expiry instead of
+// timers keeps the Coordinator goroutine-free.
+func (c *Coordinator) expireLeases(j *job, now time.Time) {
+	for i := range j.shards {
+		s := &j.shards[i]
+		if s.state == shardLeased && now.After(s.deadline) {
+			s.state = shardPending
+			s.token = ""
+			j.releases++
+			c.stats.Releases++
+		}
+	}
+}
+
+// Claim leases the lowest pending shard of jobID — or, with jobID
+// empty, of the oldest unfinished job — to worker. The lease must be
+// completed or renewed before its deadline or the shard is re-leased.
+// Returns ErrNoWork when every shard is leased or done but the job is
+// unfinished, and ErrJobDone when a specifically named job finished.
+func (c *Coordinator) Claim(jobID, worker string) (*Lease, error) {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	var candidates []string
+	if jobID != "" {
+		if _, ok := c.jobs[jobID]; !ok {
+			return nil, ErrUnknownJob
+		}
+		candidates = []string{jobID}
+	} else {
+		candidates = c.order
+	}
+	sawRunning := false
+	for _, id := range candidates {
+		j := c.jobs[id]
+		if j.finished() {
+			continue
+		}
+		sawRunning = true
+		c.expireLeases(j, now)
+		for i := range j.shards {
+			s := &j.shards[i]
+			if s.state != shardPending {
+				continue
+			}
+			c.seq++
+			s.state = shardLeased
+			s.token = fmt.Sprintf("t%d", c.seq)
+			s.worker = worker
+			s.deadline = now.Add(j.ttl)
+			s.leases++
+			c.stats.LeasesGranted++
+			return &Lease{
+				Job:      j.id,
+				Figure:   j.spec.Figure,
+				Seeds:    j.spec.Seeds,
+				BaseSeed: j.spec.BaseSeed,
+				Shard:    i,
+				Shards:   len(j.shards),
+				Token:    s.token,
+				TTLMS:    j.ttl.Milliseconds(),
+			}, nil
+		}
+	}
+	if jobID != "" && !sawRunning {
+		return nil, ErrJobDone
+	}
+	return nil, ErrNoWork
+}
+
+// Renew extends the lease identified by (jobID, shardIdx, token) by a
+// full TTL from now and returns the remaining TTL in milliseconds. A
+// lease that expired but was not yet re-issued is revived — the worker
+// is provably still alive, and reviving beats a wasted recompute.
+func (c *Coordinator) Renew(jobID string, shardIdx int, token string) (int64, error) {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[jobID]
+	if !ok {
+		return 0, ErrUnknownJob
+	}
+	if shardIdx < 0 || shardIdx >= len(j.shards) {
+		return 0, fmt.Errorf("coord: shard %d out of range [0, %d): %w", shardIdx, len(j.shards), ErrLeaseLost)
+	}
+	s := &j.shards[shardIdx]
+	if s.state != shardLeased || s.token != token {
+		return 0, ErrLeaseLost
+	}
+	s.deadline = now.Add(j.ttl)
+	s.renewals++
+	c.stats.Renewals++
+	return j.ttl.Milliseconds(), nil
+}
+
+// Complete records one shard's encoded cells. The first result per
+// shard wins; a duplicate (the shard was re-leased and someone else
+// finished first — or finished twice) returns ErrDuplicate and is
+// discarded, which is sound because shard results are deterministic
+// functions of their coordinates. The token must be the shard's
+// current lease: a worker whose lease expired unclaimed may still
+// land its result (lazy expiry keeps the token current until someone
+// else claims), but once re-leased only the new lessee or the final
+// state matters. When the last shard lands the merge runs inline and
+// the job transitions to done before Complete returns.
+func (c *Coordinator) Complete(jobID string, shardIdx int, token, worker string, cells []byte) error {
+	c.mu.Lock()
+	j, ok := c.jobs[jobID]
+	if !ok {
+		c.mu.Unlock()
+		return ErrUnknownJob
+	}
+	if shardIdx < 0 || shardIdx >= len(j.shards) {
+		c.mu.Unlock()
+		return fmt.Errorf("coord: shard %d out of range [0, %d): %w", shardIdx, len(j.shards), ErrLeaseLost)
+	}
+	s := &j.shards[shardIdx]
+	if s.state == shardDone {
+		j.duplicates++
+		c.stats.Duplicates++
+		c.mu.Unlock()
+		return ErrDuplicate
+	}
+	if s.state != shardLeased || s.token != token {
+		c.mu.Unlock()
+		return ErrLeaseLost
+	}
+
+	// Decode before accepting so a malformed or mismatched artifact
+	// fails the completing worker, not the eventual merge.
+	sc, err := experiments.DecodeShardCells(bytes.NewReader(cells))
+	if err != nil {
+		c.mu.Unlock()
+		return fmt.Errorf("coord: shard %d cells: %w", shardIdx, err)
+	}
+	switch {
+	case sc.FigID != j.spec.Figure:
+		err = fmt.Errorf("coord: cells belong to figure %q, job runs %q", sc.FigID, j.spec.Figure)
+	case sc.Shard.Index != shardIdx || sc.Shard.Count != len(j.shards):
+		err = fmt.Errorf("coord: cells cover shard %d/%d, lease was %d/%d",
+			sc.Shard.Index, sc.Shard.Count, shardIdx, len(j.shards))
+	case sc.Seeds != j.spec.Seeds || sc.BaseSeed != j.spec.BaseSeed:
+		err = fmt.Errorf("coord: cells ran with seeds=%d base=%d, job wants seeds=%d base=%d",
+			sc.Seeds, sc.BaseSeed, j.spec.Seeds, j.spec.BaseSeed)
+	}
+	if err != nil {
+		c.mu.Unlock()
+		return err
+	}
+
+	s.state = shardDone
+	s.token = ""
+	s.cells = cells
+	s.doneBy = worker
+	j.done++
+	c.stats.ShardsCompleted++
+	if j.done < len(j.shards) {
+		c.mu.Unlock()
+		return nil
+	}
+	// Last shard: merge inline on this caller's goroutine. Decode and
+	// fold outside the lock (progress polls stay responsive); no other
+	// Complete can race in — every shard is shardDone, so concurrent
+	// completions take the duplicate path above.
+	parts := make([][]byte, len(j.shards))
+	for i := range j.shards {
+		parts[i] = j.shards[i].cells
+	}
+	c.mu.Unlock()
+
+	start := c.cfg.Now()
+	dat, err := mergeParts(j.spec, parts)
+	dur := c.cfg.Now().Sub(start)
+
+	c.mu.Lock()
+	j.mergeDur = dur
+	if err != nil {
+		j.failed = err.Error()
+		c.stats.JobsFailed++
+	} else {
+		j.dat = dat
+		j.merged = true
+		c.stats.JobsDone++
+		c.stats.Merges++
+		ms := dur.Seconds() * 1e3
+		c.stats.LastMergeMS = ms
+		if ms > c.stats.MaxMergeMS {
+			c.stats.MaxMergeMS = ms
+		}
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// mergeParts decodes every shard's cells and folds them into the
+// figure's .dat bytes — byte-identical to an unsharded BuildFigure run
+// by the MergeFigure contract.
+func mergeParts(spec SweepJob, parts [][]byte) ([]byte, error) {
+	decoded := make([]*experiments.ShardCells, len(parts))
+	for i, raw := range parts {
+		sc, err := experiments.DecodeShardCells(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("re-decoding shard %d: %w", i, err)
+		}
+		decoded[i] = sc
+	}
+	cfg := experiments.Config{Seeds: spec.Seeds, BaseSeed: spec.BaseSeed}
+	fig, err := experiments.MergeFigure(spec.Figure, cfg, decoded)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(fig.Dat()), nil
+}
+
+// Progress snapshots a job: per-shard lease state and counters, plus
+// the job-level re-lease/duplicate totals. Expired leases are folded
+// back to pending first, so the snapshot never shows a dead lease as
+// live.
+func (c *Coordinator) Progress(jobID string) (*Progress, error) {
+	now := c.cfg.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[jobID]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	if !j.finished() {
+		c.expireLeases(j, now)
+	}
+	p := &Progress{
+		ID:         j.id,
+		Figure:     j.spec.Figure,
+		Seeds:      j.spec.Seeds,
+		BaseSeed:   j.spec.BaseSeed,
+		State:      "running",
+		Done:       j.done,
+		Total:      len(j.shards),
+		Releases:   j.releases,
+		Duplicates: j.duplicates,
+		Error:      j.failed,
+	}
+	if j.merged {
+		p.State = "done"
+		p.MergeMS = j.mergeDur.Seconds() * 1e3
+	} else if j.failed != "" {
+		p.State = "failed"
+	}
+	for i := range j.shards {
+		s := &j.shards[i]
+		p.Shards = append(p.Shards, ShardProgress{
+			Shard:    i,
+			State:    s.state.String(),
+			Worker:   s.worker,
+			Leases:   s.leases,
+			Renewals: s.renewals,
+			DoneBy:   s.doneBy,
+		})
+	}
+	return p, nil
+}
+
+// Result returns the merged figure's .dat bytes once every shard
+// landed; ErrNotDone before that, or the recorded merge failure.
+func (c *Coordinator) Result(jobID string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[jobID]
+	if !ok {
+		return nil, ErrUnknownJob
+	}
+	if j.failed != "" {
+		return nil, fmt.Errorf("coord: job %s failed: %s", jobID, j.failed)
+	}
+	if !j.merged {
+		return nil, ErrNotDone
+	}
+	return j.dat, nil
+}
+
+// SweepStats are the coordinator's lifetime counters, exposed on the
+// daemon's /statsz.
+type SweepStats struct {
+	JobsSubmitted   int     `json:"jobs_submitted"`
+	JobsActive      int     `json:"jobs_active"`
+	JobsDone        int     `json:"jobs_done"`
+	JobsFailed      int     `json:"jobs_failed"`
+	LeasesGranted   int     `json:"leases_granted"`
+	Renewals        int     `json:"renewals"`
+	Releases        int     `json:"releases"` // expired leases re-offered (stragglers, dead workers)
+	ShardsCompleted int     `json:"shards_completed"`
+	Duplicates      int     `json:"duplicate_completions"`
+	Merges          int     `json:"merges"`
+	LastMergeMS     float64 `json:"last_merge_ms"`
+	MaxMergeMS      float64 `json:"max_merge_ms"`
+}
+
+// StatsSnapshot returns the current counters.
+func (c *Coordinator) StatsSnapshot() SweepStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	for _, j := range c.jobs {
+		if !j.finished() {
+			st.JobsActive++
+		}
+	}
+	return st
+}

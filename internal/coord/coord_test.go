@@ -1,0 +1,312 @@
+package coord
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// fakeClock drives lease expiry deterministically: tests advance it
+// instead of sleeping.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// testJob is the cheap standard job most tests submit: fig2a at 2
+// seeds is milliseconds of compute since the incremental-load PR.
+func testJob(shards int) SweepJob {
+	return SweepJob{Figure: "fig2a", Seeds: 2, BaseSeed: 1, Shards: shards}
+}
+
+// shardBytes computes one lease's cells exactly as a worker would.
+func shardBytes(t *testing.T, l *Lease) []byte {
+	t.Helper()
+	sc, err := experiments.RunFigureShard(t.Context(), l.Figure,
+		experiments.Config{Seeds: l.Seeds, BaseSeed: l.BaseSeed},
+		experiments.Shard{Index: l.Shard, Count: l.Shards})
+	if err != nil {
+		t.Fatalf("RunFigureShard(%d/%d): %v", l.Shard, l.Shards, err)
+	}
+	var buf bytes.Buffer
+	if err := sc.Encode(&buf); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// goldenDat is the unsharded reference output every merged result must
+// match byte-for-byte.
+func goldenDat(t *testing.T) string {
+	t.Helper()
+	fig, err := experiments.BuildFigure(t.Context(), "fig2a", experiments.Config{Seeds: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatalf("BuildFigure: %v", err)
+	}
+	return fig.Dat()
+}
+
+func TestSubmitValidation(t *testing.T) {
+	c := New(Config{MaxShards: 8, Now: newFakeClock().Now})
+	for _, tc := range []struct {
+		name string
+		job  SweepJob
+		want string
+	}{
+		{"unknown figure", SweepJob{Figure: "nope", Shards: 2}, "unknown figure"},
+		{"zero shards", SweepJob{Figure: "fig2a", Shards: 0}, "shards must be"},
+		{"too many shards", SweepJob{Figure: "fig2a", Shards: 9}, "shards must be"},
+		{"negative seeds", SweepJob{Figure: "fig2a", Seeds: -1, Shards: 2}, "seeds must be"},
+	} {
+		if _, err := c.Submit(tc.job); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want %q", tc.name, err, tc.want)
+		}
+	}
+	// Seeds 0 is normalized to the experiments default.
+	id, err := c.Submit(SweepJob{Figure: "fig2a", Shards: 2})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	p, err := c.Progress(id)
+	if err != nil {
+		t.Fatalf("Progress: %v", err)
+	}
+	if p.Seeds != 10 {
+		t.Fatalf("seeds not defaulted: %d", p.Seeds)
+	}
+}
+
+func TestMaxJobs(t *testing.T) {
+	c := New(Config{MaxJobs: 1, Now: newFakeClock().Now})
+	if _, err := c.Submit(testJob(2)); err != nil {
+		t.Fatalf("first Submit: %v", err)
+	}
+	if _, err := c.Submit(testJob(2)); !errors.Is(err, ErrTooManyJobs) {
+		t.Fatalf("second Submit: got %v, want ErrTooManyJobs", err)
+	}
+}
+
+// TestHappyPath drives a 3-shard job through claim/complete and checks
+// the merged result is byte-identical to the unsharded run.
+func TestHappyPath(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{Now: clk.Now})
+	id, err := c.Submit(testJob(3))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := c.Result(id); !errors.Is(err, ErrNotDone) {
+		t.Fatalf("early Result: got %v, want ErrNotDone", err)
+	}
+	for i := 0; i < 3; i++ {
+		l, err := c.Claim(id, "w")
+		if err != nil {
+			t.Fatalf("Claim %d: %v", i, err)
+		}
+		if l.Shard != i || l.Shards != 3 {
+			t.Fatalf("lease %d: got shard %d/%d", i, l.Shard, l.Shards)
+		}
+		if err := c.Complete(id, l.Shard, l.Token, "w", shardBytes(t, l)); err != nil {
+			t.Fatalf("Complete %d: %v", i, err)
+		}
+	}
+	if _, err := c.Claim(id, "w"); !errors.Is(err, ErrJobDone) {
+		t.Fatalf("Claim after done: %v, want ErrJobDone", err)
+	}
+	dat, err := c.Result(id)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if string(dat) != goldenDat(t) {
+		t.Fatalf("merged dat differs from unsharded golden")
+	}
+	p, _ := c.Progress(id)
+	if p.State != "done" || p.Done != 3 || p.Releases != 0 || p.Duplicates != 0 {
+		t.Fatalf("progress: %+v", p)
+	}
+	st := c.StatsSnapshot()
+	if st.Merges != 1 || st.LeasesGranted != 3 || st.JobsDone != 1 || st.JobsActive != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestExpiryRelease: an expired lease goes back to pending, is
+// re-leased to another worker with a fresh token, and the dead
+// worker's stale token can no longer renew or complete.
+func TestExpiryRelease(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{DefaultLeaseTTL: 10 * time.Second, Now: clk.Now})
+	id, _ := c.Submit(testJob(1))
+
+	dead, err := c.Claim(id, "flaky")
+	if err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	// Same shard is not claimable while the lease is live.
+	if _, err := c.Claim(id, "other"); !errors.Is(err, ErrNoWork) {
+		t.Fatalf("second Claim: %v, want ErrNoWork", err)
+	}
+	clk.Advance(11 * time.Second)
+	fresh, err := c.Claim(id, "steady")
+	if err != nil {
+		t.Fatalf("re-Claim after expiry: %v", err)
+	}
+	if fresh.Shard != dead.Shard || fresh.Token == dead.Token {
+		t.Fatalf("re-lease: shard %d token %q vs dead %d %q", fresh.Shard, fresh.Token, dead.Shard, dead.Token)
+	}
+	if _, err := c.Renew(id, dead.Shard, dead.Token); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale Renew: %v, want ErrLeaseLost", err)
+	}
+	if err := c.Complete(id, dead.Shard, dead.Token, "flaky", shardBytes(t, dead)); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale Complete: %v, want ErrLeaseLost", err)
+	}
+	if err := c.Complete(id, fresh.Shard, fresh.Token, "steady", shardBytes(t, fresh)); err != nil {
+		t.Fatalf("fresh Complete: %v", err)
+	}
+	p, _ := c.Progress(id)
+	if p.Releases != 1 || p.Shards[0].Leases != 2 || p.Shards[0].DoneBy != "steady" {
+		t.Fatalf("progress after re-lease: %+v", p)
+	}
+	if st := c.StatsSnapshot(); st.Releases != 1 {
+		t.Fatalf("stats releases: %+v", st)
+	}
+}
+
+// TestRenewExtends: renewing pushes the deadline, so a heartbeating
+// worker is never re-leased; dropping the heartbeat expires it.
+func TestRenewExtends(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{DefaultLeaseTTL: 10 * time.Second, Now: clk.Now})
+	id, _ := c.Submit(testJob(1))
+	l, _ := c.Claim(id, "w")
+	for i := 0; i < 5; i++ {
+		clk.Advance(8 * time.Second)
+		ttl, err := c.Renew(id, l.Shard, l.Token)
+		if err != nil {
+			t.Fatalf("Renew %d: %v", i, err)
+		}
+		if ttl != (10 * time.Second).Milliseconds() {
+			t.Fatalf("Renew TTL: %d", ttl)
+		}
+	}
+	// 40s of wall time elapsed, lease still held.
+	if _, err := c.Claim(id, "thief"); !errors.Is(err, ErrNoWork) {
+		t.Fatalf("Claim against heartbeating lease: %v", err)
+	}
+	clk.Advance(11 * time.Second)
+	if _, err := c.Claim(id, "thief"); err != nil {
+		t.Fatalf("Claim after heartbeat stops: %v", err)
+	}
+}
+
+// TestDuplicateCompletion: after a straggler's shard is re-leased and
+// completed by someone else, the straggler's late result is discarded
+// as a duplicate, the job merges once, and the output still matches
+// the unsharded golden.
+func TestDuplicateCompletion(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{DefaultLeaseTTL: 5 * time.Second, Now: clk.Now})
+	id, _ := c.Submit(testJob(2))
+
+	slow, _ := c.Claim(id, "slow")
+	clk.Advance(6 * time.Second) // slow's lease expires
+	fast, err := c.Claim(id, "fast")
+	if err != nil || fast.Shard != slow.Shard {
+		t.Fatalf("re-claim: lease %+v err %v", fast, err)
+	}
+	other, err := c.Claim(id, "fast")
+	if err != nil {
+		t.Fatalf("claim second shard: %v", err)
+	}
+	if err := c.Complete(id, fast.Shard, fast.Token, "fast", shardBytes(t, fast)); err != nil {
+		t.Fatalf("fast Complete: %v", err)
+	}
+	// The straggler finally lands: shard already done -> duplicate.
+	if err := c.Complete(id, slow.Shard, slow.Token, "slow", shardBytes(t, slow)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("late Complete: %v, want ErrDuplicate", err)
+	}
+	if err := c.Complete(id, other.Shard, other.Token, "fast", shardBytes(t, other)); err != nil {
+		t.Fatalf("final Complete: %v", err)
+	}
+	dat, err := c.Result(id)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if string(dat) != goldenDat(t) {
+		t.Fatalf("merged dat differs from unsharded golden after duplicate")
+	}
+	p, _ := c.Progress(id)
+	if p.Duplicates != 1 || p.Shards[fast.Shard].DoneBy != "fast" {
+		t.Fatalf("progress: %+v", p)
+	}
+}
+
+// TestCompleteRejectsMismatchedCells: an artifact for the wrong
+// figure, shard or parameters fails the completing worker immediately
+// instead of poisoning the merge.
+func TestCompleteRejectsMismatchedCells(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{Now: clk.Now})
+	id, _ := c.Submit(testJob(2))
+	l, _ := c.Claim(id, "w")
+
+	wrong := *l
+	wrong.Shard = 1 - l.Shard // cells for the other shard
+	if err := c.Complete(id, l.Shard, l.Token, "w", shardBytes(t, &wrong)); err == nil ||
+		!strings.Contains(err.Error(), "lease was") {
+		t.Fatalf("mismatched shard cells: %v", err)
+	}
+	if err := c.Complete(id, l.Shard, l.Token, "w", []byte("garbage")); err == nil {
+		t.Fatal("garbage cells accepted")
+	}
+	// The lease survives a rejected completion; the real cells land.
+	if err := c.Complete(id, l.Shard, l.Token, "w", shardBytes(t, l)); err != nil {
+		t.Fatalf("correct Complete after rejects: %v", err)
+	}
+}
+
+func TestAnyJobClaimAndUnknowns(t *testing.T) {
+	clk := newFakeClock()
+	c := New(Config{Now: clk.Now})
+	if _, err := c.Claim("", "w"); !errors.Is(err, ErrNoWork) {
+		t.Fatalf("Claim with no jobs: %v", err)
+	}
+	if _, err := c.Claim("nope", "w"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Claim unknown job: %v", err)
+	}
+	if _, err := c.Progress("nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("Progress unknown job: %v", err)
+	}
+	idA, _ := c.Submit(testJob(1))
+	idB, _ := c.Submit(testJob(1))
+	// Any-job claims drain submission order: job A first, then B.
+	l1, err := c.Claim("", "w")
+	if err != nil || l1.Job != idA {
+		t.Fatalf("first any-claim: %+v err %v", l1, err)
+	}
+	l2, err := c.Claim("", "w")
+	if err != nil || l2.Job != idB {
+		t.Fatalf("second any-claim: %+v err %v", l2, err)
+	}
+}

@@ -1,0 +1,121 @@
+package coord_test
+
+// End-to-end fault injection over the real HTTP stack: a daemon
+// (internal/serve) with the coordinator mounted, three RunWorker
+// loops — one that dies mid-shard, one slow straggler that never
+// renews and gets re-leased, one steady — and the acceptance check
+// that the merged figure is byte-identical to the unsharded run.
+
+import (
+	"context"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/experiments"
+	"repro/internal/serve"
+)
+
+func TestDistributedSweepFaultInjectionE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-worker e2e in -short mode")
+	}
+	before := runtime.NumGoroutine()
+
+	// Short leases so the flaky worker's abandoned shard and the
+	// non-renewing straggler's shard both expire within the test.
+	pool := serve.New(serve.Config{Workers: 1, SweepLeaseTTL: 300 * time.Millisecond})
+	ts := httptest.NewServer(pool)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	c := coord.NewClient(ts.URL)
+	id, err := c.Submit(ctx, coord.SweepJob{Figure: "fig2a", Seeds: 2, BaseSeed: 1, Shards: 3})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	runWorker := func(opts coord.WorkerOptions) {
+		opts.Job = id
+		opts.Poll = 50 * time.Millisecond
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			coord.RunWorker(ctx, coord.NewClient(ts.URL), opts)
+		}()
+	}
+	// Flaky: claims one lease and dies without completing it.
+	runWorker(coord.WorkerOptions{Name: "flaky", AbandonAfterClaims: 1})
+	// Straggler: sleeps past its lease TTL and never renews, so its
+	// shard is re-leased; its late completion must be discarded.
+	runWorker(coord.WorkerOptions{Name: "straggler", SlowShard: 700 * time.Millisecond, NoRenew: true})
+	// Steady: picks up everything, including the recovered shards.
+	runWorker(coord.WorkerOptions{Name: "steady"})
+
+	dat, err := c.Await(ctx, id, 50*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Await: %v", err)
+	}
+	// All three workers exit on ErrJobDone (they are job-pinned).
+	wg.Wait()
+
+	fig, err := experiments.BuildFigure(ctx, "fig2a", experiments.Config{Seeds: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatalf("BuildFigure golden: %v", err)
+	}
+	if dat != fig.Dat() {
+		t.Errorf("merged dat differs from unsharded golden:\n got %d bytes\nwant %d bytes", len(dat), len(fig.Dat()))
+	}
+
+	p, err := c.Progress(ctx, id)
+	if err != nil {
+		t.Fatalf("Progress: %v", err)
+	}
+	if p.State != "done" || p.Done != 3 {
+		t.Fatalf("job not done: %+v", p)
+	}
+	if p.Releases < 1 {
+		t.Errorf("expected at least one re-lease (flaky abandoned a shard), got %d", p.Releases)
+	}
+	for _, sp := range p.Shards {
+		if sp.State != "done" || sp.DoneBy == "" {
+			t.Errorf("shard %d not completed exactly once: %+v", sp.Shard, sp)
+		}
+	}
+
+	ts.Close()
+	pool.Close()
+
+	// Nothing may outlive the drain: worker heartbeats are joined per
+	// lease, the coordinator owns no goroutines, the pool drained.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWorkerExitIdle: an unpinned worker with ExitIdle returns once
+// the coordinator has nothing to offer.
+func TestWorkerExitIdle(t *testing.T) {
+	pool := serve.New(serve.Config{Workers: 1})
+	defer pool.Close()
+	ts := httptest.NewServer(pool)
+	defer ts.Close()
+
+	err := coord.RunWorker(t.Context(), coord.NewClient(ts.URL), coord.WorkerOptions{
+		Name: "idler", ExitIdle: true, Poll: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("RunWorker: %v", err)
+	}
+}

@@ -1,0 +1,114 @@
+package coord
+
+// Wire types shared by the coordinator, the HTTP layer in
+// internal/serve, and Client. All JSON, all stable: these are the
+// public jobs surface re-exported at the repo root.
+
+// SweepJob is a sweep submission: which figure to build, the
+// experiment parameters, and how many shards to decompose it into.
+type SweepJob struct {
+	// Figure is the figure id to build (see FigureIDs).
+	Figure string `json:"figure"`
+	// Seeds is the number of repetitions per grid point; 0 means the
+	// experiments default (10).
+	Seeds int `json:"seeds,omitempty"`
+	// BaseSeed offsets every derived seed; 0 is the committed default.
+	BaseSeed int64 `json:"base_seed,omitempty"`
+	// Shards is the number of work units to decompose the run into.
+	Shards int `json:"shards"`
+	// LeaseTTLMS overrides the coordinator's default lease TTL,
+	// milliseconds; capped at the coordinator's maximum.
+	LeaseTTLMS int64 `json:"lease_ttl_ms,omitempty"`
+}
+
+// Lease is a granted work unit: compute Shard of Shards for the job's
+// figure, then Complete with Token before the TTL runs out (or keep
+// renewing). Expired leases are re-offered to other workers.
+type Lease struct {
+	Job      string `json:"job"`
+	Figure   string `json:"figure"`
+	Seeds    int    `json:"seeds"`
+	BaseSeed int64  `json:"base_seed"`
+	Shard    int    `json:"shard"`
+	Shards   int    `json:"shards"`
+	Token    string `json:"token"`
+	TTLMS    int64  `json:"ttl_ms"`
+}
+
+// ShardProgress is one shard's row in a Progress snapshot.
+type ShardProgress struct {
+	Shard int `json:"shard"`
+	// State is "pending", "leased" or "done".
+	State string `json:"state"`
+	// Worker is the current or most recent lessee.
+	Worker string `json:"worker,omitempty"`
+	// Leases counts leases ever granted for this shard; >1 means it was
+	// re-leased after an expiry.
+	Leases   int `json:"leases"`
+	Renewals int `json:"renewals,omitempty"`
+	// DoneBy names the worker whose result was accepted.
+	DoneBy string `json:"done_by,omitempty"`
+}
+
+// Progress is a point-in-time snapshot of a sweep job.
+type Progress struct {
+	ID       string `json:"id"`
+	Figure   string `json:"figure"`
+	Seeds    int    `json:"seeds"`
+	BaseSeed int64  `json:"base_seed"`
+	// State is "running", "done" or "failed".
+	State  string          `json:"state"`
+	Done   int             `json:"done"`
+	Total  int             `json:"total"`
+	Shards []ShardProgress `json:"shards"`
+	// Releases counts leases that expired and were re-offered
+	// (straggler / dead-worker recoveries).
+	Releases int `json:"releases"`
+	// Duplicates counts completions discarded because the shard already
+	// had an accepted result.
+	Duplicates int `json:"duplicates"`
+	// MergeMS is the final merge latency, set once State is "done".
+	MergeMS float64 `json:"merge_ms,omitempty"`
+	// Error carries the merge failure when State is "failed".
+	Error string `json:"error,omitempty"`
+}
+
+// submitResponse is POST /v1/sweep's reply.
+type submitResponse struct {
+	ID string `json:"id"`
+}
+
+// claimRequest is the body of POST /v1/sweep/lease and
+// POST /v1/sweep/{id}/lease.
+type claimRequest struct {
+	Worker string `json:"worker,omitempty"`
+}
+
+// renewRequest is the body of POST /v1/sweep/{id}/renew.
+type renewRequest struct {
+	Shard  int    `json:"shard"`
+	Token  string `json:"token"`
+	Worker string `json:"worker,omitempty"`
+}
+
+// renewResponse is its reply.
+type renewResponse struct {
+	TTLMS int64 `json:"ttl_ms"`
+}
+
+// completeRequest is the body of POST /v1/sweep/{id}/complete. Cells
+// carries the shard's encoded cell artifact (the streamalloc-cells/v1
+// text format) verbatim.
+type completeRequest struct {
+	Shard  int    `json:"shard"`
+	Token  string `json:"token"`
+	Worker string `json:"worker,omitempty"`
+	Cells  string `json:"cells"`
+}
+
+// completeResponse is its reply. Duplicate is set when the result was
+// discarded because the shard already completed — benign by the
+// determinism contract.
+type completeResponse struct {
+	Duplicate bool `json:"duplicate,omitempty"`
+}

@@ -379,8 +379,10 @@ func figDefByID(id string) (figDef, error) {
 // BuildFigure runs the figure's full grid(s) and folds the cells into
 // the Figure — the one path behind the legacy Fig2a-style wrappers, the
 // CLI and the shard merge, so their outputs are identical by
-// construction.
-func BuildFigure(id string, cfg Config) (*Figure, error) {
+// construction. Cancelling ctx aborts the sweep between cells (the
+// same contract as Grid.Run), which is how coordinator-driven runs
+// stop cleanly.
+func BuildFigure(ctx context.Context, id string, cfg Config) (*Figure, error) {
 	def, err := figDefByID(id)
 	if err != nil {
 		return nil, err
@@ -399,7 +401,7 @@ func BuildFigure(id string, cfg Config) (*Figure, error) {
 		if verify != nil {
 			g.Verify = &stream.Options{Results: 80}
 		}
-		cells, err := g.Cells(context.Background())
+		cells, err := g.Cells(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -423,7 +425,7 @@ func (def figDef) newFigure() *Figure {
 // mustFigure backs the legacy figure wrappers, whose signatures predate
 // the error-returning Grid engine; their inputs are static and valid.
 func mustFigure(id string, cfg Config) *Figure {
-	fig, err := BuildFigure(id, cfg)
+	fig, err := BuildFigure(context.Background(), id, cfg)
 	if err != nil {
 		panic(err)
 	}

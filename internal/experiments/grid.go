@@ -3,10 +3,13 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 
+	"repro/internal/apptree"
 	"repro/internal/heuristics"
 	"repro/internal/instance"
+	"repro/internal/multiapp"
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stream"
@@ -61,6 +64,14 @@ type WorkerEnv struct {
 	gen    instance.Generator
 	sc     heuristics.SolveContext
 	runner stream.Runner
+
+	// Multi-tenant cell arenas: one reusable tree builder per RandomTree
+	// call within a cell (ntrees is reset before every Make), a reseeded
+	// rand stream shared by all of them, and the Combine builder.
+	treeRand     *rand.Rand
+	treeBuilders []*apptree.Builder
+	ntrees       int
+	combiner     multiapp.Builder
 }
 
 // Generate builds the (cfg, seed) instance on the worker's reusable
@@ -70,6 +81,37 @@ type WorkerEnv struct {
 // worker's next cell.
 func (e *WorkerEnv) Generate(cfg instance.Config, seed int64) *instance.Instance {
 	return e.gen.Generate(cfg, seed)
+}
+
+// RandomTree builds a random binary operator tree on the worker's
+// reusable arenas, drawing the exact random stream of the one-shot
+// apptree.Random(rng.New(seed), ...) — so sweeps that switch to it
+// stay byte-identical. Each call within one cell draws a fresh builder
+// (all of a cell's tenant trees are alive at once for Combine); trees
+// are owned by the environment and valid only for the current cell.
+func (e *WorkerEnv) RandomTree(seed int64, numOps, numTypes int) *apptree.Tree {
+	if e.treeRand == nil {
+		e.treeRand = rng.New(seed)
+	} else {
+		// Seed on an existing rand.Rand restarts the identical stream
+		// rng.New would produce for this seed.
+		e.treeRand.Seed(seed)
+	}
+	if e.ntrees == len(e.treeBuilders) {
+		e.treeBuilders = append(e.treeBuilders, new(apptree.Builder))
+	}
+	b := e.treeBuilders[e.ntrees]
+	e.ntrees++
+	return b.Random(e.treeRand, numOps, numTypes)
+}
+
+// Combine folds multi-tenant applications into one solvable instance
+// on the worker's reusable multiapp.Builder — identical output to the
+// one-shot multiapp.Combine, without its per-cell tree and instance
+// allocations. The instance is owned by the environment and valid only
+// for the current cell.
+func (e *WorkerEnv) Combine(apps []multiapp.App, w multiapp.Workload) (*instance.Instance, error) {
+	return e.combiner.Combine(apps, w)
 }
 
 // envPool recycles WorkerEnvs across Grid runs: repeated sweeps (perf
@@ -301,6 +343,7 @@ func (g *Grid) runCell(env *WorkerEnv, h heuristics.Heuristic, idx int) Cell {
 	c.Heuristic = g.Heuristics[c.HIdx]
 	c.X = g.Xs[c.XIdx]
 	c.Seed = g.CellSeed(c.XIdx, c.Rep)
+	env.ntrees = 0 // recycle the cell's tenant-tree builders
 	in, err := g.Make(env, c.X, c.Seed)
 	if err != nil {
 		c.Err = fmt.Errorf("sweep: cell %d factory: %w", idx, err)

@@ -76,7 +76,7 @@ func TestGridMatchesReference(t *testing.T) {
 func TestShardUnionEqualsFullGrid(t *testing.T) {
 	cfg := Config{Seeds: 2, BaseSeed: 1}
 	for _, id := range []string{"fig2a", "abl-downgrade", "abl-selection"} {
-		full, err := BuildFigure(id, cfg)
+		full, err := BuildFigure(context.Background(), id, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -41,30 +41,118 @@ type Workload struct {
 // rho = 1. The returned instance carries pre-scaled derived W/Delta; do
 // not call Refresh on it (that would recompute them for rho = 1 only and
 // assign work to the virtual combiners).
+//
+// This one-shot form fully validates its inputs and the merged result
+// and hands back an instance the caller solely owns. Hot sweep cells
+// use Builder.Combine instead, which builds the identical instance on
+// reusable arenas and skips the O(N) structural re-validation.
 func Combine(apps []App, w Workload) (*instance.Instance, error) {
-	if len(apps) == 0 {
-		return nil, fmt.Errorf("multiapp: no applications")
-	}
 	for i, a := range apps {
 		if a.Tree == nil {
-			return nil, fmt.Errorf("multiapp: application %d has no tree", i)
+			continue // checked by checkApps below
 		}
 		if err := a.Tree.Validate(); err != nil {
 			return nil, fmt.Errorf("multiapp: application %d: %v", i, err)
 		}
+	}
+	in, err := new(Builder).Combine(apps, w)
+	if err != nil {
+		return nil, err
+	}
+	if err := in.Tree.Validate(); err != nil {
+		return nil, fmt.Errorf("multiapp: merged tree invalid: %v", err)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("multiapp: combined instance invalid: %v", err)
+	}
+	return in, nil
+}
+
+// checkApps runs the cheap per-application checks shared by both
+// Combine forms.
+func checkApps(apps []App) error {
+	if len(apps) == 0 {
+		return fmt.Errorf("multiapp: no applications")
+	}
+	for i, a := range apps {
+		if a.Tree == nil {
+			return fmt.Errorf("multiapp: application %d has no tree", i)
+		}
+		if len(a.Tree.Ops) == 0 {
+			return fmt.Errorf("multiapp: application %d has an empty tree", i)
+		}
 		if a.Rho <= 0 {
-			return nil, fmt.Errorf("multiapp: application %d has rho %v", i, a.Rho)
+			return fmt.Errorf("multiapp: application %d has rho %v", i, a.Rho)
 		}
 	}
+	return nil
+}
 
-	merged := &apptree.Tree{}
-	var wAll, dAll []float64
-	roots := make([]int, len(apps))
-	for ai, a := range apps {
+// Builder is Combine on reusable storage: the merged tree's operator
+// and leaf tables are grow-only, every operator's ChildOps/Leaves
+// slice is carved out of two shared arenas (mirroring apptree.Builder),
+// the per-application Derive pass runs on scratch buffers via
+// DeriveInto, and the scaled W/Delta vectors and the Instance itself
+// are recycled across calls — so a multi-tenant sweep cell's instance
+// construction is allocation-free in steady state (the last
+// alloc-heavy sweep path, ~1.1k allocs/op as one-shot Combine).
+//
+// The returned *Instance and everything it references are owned by
+// the Builder and valid only until the next Combine call; the sweep
+// engine solves and discards it before the worker's next cell, the
+// same contract as instance.Generator. Unlike the one-shot Combine,
+// the Builder trusts its input trees to be structurally valid (as
+// trees from apptree.Random, Builder.Random and LeftDeep are by
+// construction) and skips re-validating the merged result — the
+// reduction is equivalence-tested against one-shot Combine, which
+// keeps the full checks. A Builder is not safe for concurrent use.
+type Builder struct {
+	tree                  apptree.Tree
+	childArena, leafArena []int
+	wAll, dAll            []float64 // scaled, merged-tree indexed
+	wApp, dApp            []float64 // per-application DeriveInto scratch
+	inst                  instance.Instance
+}
+
+// Combine is the package-level Combine on the builder's reusable
+// storage. The resulting instance is field-for-field identical
+// (tree shape, bit-identical W/Delta) to the one-shot form's.
+func (b *Builder) Combine(apps []App, w Workload) (*instance.Instance, error) {
+	if err := checkApps(apps); err != nil {
+		return nil, err
+	}
+	totalOps := len(apps) - 1 // virtual combiners
+	for _, a := range apps {
+		totalOps += len(a.Tree.Ops)
+	}
+	merged := &b.tree
+	if cap(merged.Ops) < totalOps {
+		merged.Ops = make([]apptree.Operator, 0, totalOps)
+	} else {
+		merged.Ops = merged.Ops[:0]
+	}
+	merged.Leaves = merged.Leaves[:0]
+	if cap(b.childArena) < 2*totalOps {
+		b.childArena = make([]int, 2*totalOps)
+		b.leafArena = make([]int, 2*totalOps)
+	}
+	wAll, dAll := b.wAll[:0], b.dAll[:0]
+
+	// Stack-backed for the common few-tenant case; append spills to the
+	// heap only beyond 16 applications.
+	var rootsBuf [16]int
+	roots := rootsBuf[:0]
+	for _, a := range apps {
 		opOff := len(merged.Ops)
 		leafOff := len(merged.Leaves)
-		for _, op := range a.Tree.Ops {
-			cp := apptree.Operator{Parent: op.Parent}
+		for oi := range a.Tree.Ops {
+			op := &a.Tree.Ops[oi]
+			id := len(merged.Ops)
+			cp := apptree.Operator{
+				Parent:   op.Parent,
+				ChildOps: b.childArena[2*id : 2*id : 2*id+2],
+				Leaves:   b.leafArena[2*id : 2*id : 2*id+2],
+			}
 			if op.Parent != apptree.NoParent {
 				cp.Parent = op.Parent + opOff
 			}
@@ -79,13 +167,15 @@ func Combine(apps []App, w Workload) (*instance.Instance, error) {
 		for _, l := range a.Tree.Leaves {
 			merged.Leaves = append(merged.Leaves, apptree.Leaf{Object: l.Object, Parent: l.Parent + opOff})
 		}
-		roots[ai] = a.Tree.Root + opOff
+		roots = append(roots, a.Tree.Root+opOff)
 
 		// Pre-scale this application's work and traffic by its target.
-		wApp, dApp := a.Tree.Derive(w.Sizes, w.Alpha)
-		for i := range wApp {
-			wAll = append(wAll, a.Rho*wApp[i])
-			dAll = append(dAll, a.Rho*dApp[i])
+		// DeriveInto and Derive share the same per-operator fold, so the
+		// scaled values are bit-identical to the one-shot path's.
+		b.wApp, b.dApp = a.Tree.DeriveInto(w.Sizes, w.Alpha, b.wApp, b.dApp)
+		for i := range a.Tree.Ops {
+			wAll = append(wAll, a.Rho*b.wApp[i])
+			dAll = append(dAll, a.Rho*b.dApp[i])
 		}
 	}
 
@@ -95,8 +185,10 @@ func Combine(apps []App, w Workload) (*instance.Instance, error) {
 		v := len(merged.Ops)
 		merged.Ops = append(merged.Ops, apptree.Operator{
 			Parent:   apptree.NoParent,
-			ChildOps: []int{cur, next},
+			ChildOps: b.childArena[2*v : 2*v : 2*v+2],
+			Leaves:   b.leafArena[2*v : 2*v : 2*v+2],
 		})
+		merged.Ops[v].ChildOps = append(merged.Ops[v].ChildOps, cur, next)
 		merged.Ops[cur].Parent = v
 		merged.Ops[next].Parent = v
 		wAll = append(wAll, 0)
@@ -104,11 +196,10 @@ func Combine(apps []App, w Workload) (*instance.Instance, error) {
 		cur = v
 	}
 	merged.Root = cur
-	if err := merged.Validate(); err != nil {
-		return nil, fmt.Errorf("multiapp: merged tree invalid: %v", err)
-	}
+	b.wAll, b.dAll = wAll, dAll
 
-	in := &instance.Instance{
+	in := &b.inst
+	*in = instance.Instance{
 		Tree:     merged,
 		NumTypes: w.NumTypes,
 		Sizes:    w.Sizes,
@@ -119,9 +210,6 @@ func Combine(apps []App, w Workload) (*instance.Instance, error) {
 		Alpha:    w.Alpha,
 		W:        wAll,
 		Delta:    dAll,
-	}
-	if err := in.Validate(); err != nil {
-		return nil, fmt.Errorf("multiapp: combined instance invalid: %v", err)
 	}
 	return in, nil
 }

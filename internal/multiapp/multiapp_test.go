@@ -141,3 +141,115 @@ func TestHighTargetsForceBiggerPlatform(t *testing.T) {
 		t.Fatal("40x throughput target did not increase cost")
 	}
 }
+
+// equalInstances asserts two combined instances agree field-for-field:
+// identical merged tree shape and bit-identical scaled W/Delta.
+func equalInstances(t *testing.T, got, want *instance.Instance) {
+	t.Helper()
+	if got.Tree.NumOps() != want.Tree.NumOps() || got.Tree.Root != want.Tree.Root {
+		t.Fatalf("tree shape: %d ops root %d, want %d ops root %d",
+			got.Tree.NumOps(), got.Tree.Root, want.Tree.NumOps(), want.Tree.Root)
+	}
+	for i := range want.Tree.Ops {
+		g, w := &got.Tree.Ops[i], &want.Tree.Ops[i]
+		if g.Parent != w.Parent || len(g.ChildOps) != len(w.ChildOps) || len(g.Leaves) != len(w.Leaves) {
+			t.Fatalf("op %d: %+v, want %+v", i, g, w)
+		}
+		for j := range w.ChildOps {
+			if g.ChildOps[j] != w.ChildOps[j] {
+				t.Fatalf("op %d child %d: %d, want %d", i, j, g.ChildOps[j], w.ChildOps[j])
+			}
+		}
+		for j := range w.Leaves {
+			if g.Leaves[j] != w.Leaves[j] {
+				t.Fatalf("op %d leaf %d: %d, want %d", i, j, g.Leaves[j], w.Leaves[j])
+			}
+		}
+	}
+	for li := range want.Tree.Leaves {
+		if got.Tree.Leaves[li] != want.Tree.Leaves[li] {
+			t.Fatalf("leaf %d: %+v, want %+v", li, got.Tree.Leaves[li], want.Tree.Leaves[li])
+		}
+	}
+	for i := range want.W {
+		if got.W[i] != want.W[i] || got.Delta[i] != want.Delta[i] {
+			t.Fatalf("derived %d: w=%v delta=%v, want w=%v delta=%v",
+				i, got.W[i], got.Delta[i], want.W[i], want.Delta[i])
+		}
+	}
+	if got.Rho != want.Rho || got.Alpha != want.Alpha || got.NumTypes != want.NumTypes {
+		t.Fatalf("scalars: %+v, want %+v", got, want)
+	}
+}
+
+// TestBuilderMatchesOneShot: Builder.Combine reproduces one-shot
+// Combine exactly, across repeated reuse of the same builder with
+// varying tenant counts and shapes (shrinking and growing between
+// calls exercises the arena reset paths).
+func TestBuilderMatchesOneShot(t *testing.T) {
+	w := workload(7)
+	var b Builder
+	cases := [][]App{
+		{{apptree.Random(rng.New(1), 6, w.NumTypes), 1}, {apptree.Random(rng.New(2), 4, w.NumTypes), 2}},
+		{{apptree.Random(rng.New(3), 12, w.NumTypes), 0.5}},
+		{{apptree.Random(rng.New(4), 3, w.NumTypes), 1},
+			{apptree.Random(rng.New(5), 8, w.NumTypes), 3},
+			{apptree.Random(rng.New(6), 5, w.NumTypes), 0.25}},
+		{{apptree.LeftDeep([]int{0, 1, 2, 3}), 2}, {apptree.Random(rng.New(8), 7, w.NumTypes), 1}},
+	}
+	for ci, apps := range cases {
+		want, err := Combine(apps, w)
+		if err != nil {
+			t.Fatalf("case %d one-shot: %v", ci, err)
+		}
+		got, err := b.Combine(apps, w)
+		if err != nil {
+			t.Fatalf("case %d builder: %v", ci, err)
+		}
+		// The builder's output must satisfy the full validation the
+		// one-shot path runs, even though it skips it for speed.
+		if err := got.Validate(); err != nil {
+			t.Fatalf("case %d builder instance invalid: %v", ci, err)
+		}
+		equalInstances(t, got, want)
+	}
+}
+
+// TestBuilderErrors: the cheap checks reject the same degenerate
+// inputs as the one-shot form.
+func TestBuilderErrors(t *testing.T) {
+	w := workload(9)
+	var b Builder
+	if _, err := b.Combine(nil, w); err == nil {
+		t.Fatal("no applications accepted")
+	}
+	if _, err := b.Combine([]App{{nil, 1}}, w); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+	if _, err := b.Combine([]App{{apptree.Random(rng.New(1), 3, w.NumTypes), 0}}, w); err == nil {
+		t.Fatal("rho 0 accepted")
+	}
+}
+
+// TestBuilderSteadyStateAllocs: after warmup, repeated Combine calls
+// on stable shapes allocate nothing.
+func TestBuilderSteadyStateAllocs(t *testing.T) {
+	w := workload(11)
+	var b Builder
+	trees := []*apptree.Tree{
+		apptree.Random(rng.New(21), 8, w.NumTypes),
+		apptree.Random(rng.New(22), 10, w.NumTypes),
+	}
+	apps := []App{{trees[0], 1}, {trees[1], 3}}
+	if _, err := b.Combine(apps, w); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := b.Combine(apps, w); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Builder.Combine allocates %v/op, want 0", allocs)
+	}
+}

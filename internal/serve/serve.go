@@ -16,9 +16,13 @@
 //	                 + per-heuristic breakdown (deterministic JSON:
 //	                 byte-identical at any worker count)
 //	POST /v1/verify  instance + mapping -> stream-engine verification
+//	POST /v1/sweep   submit a distributed figure sweep; plus lease
+//	                 claim/renew/complete and progress/result routes —
+//	                 see sweep.go and internal/coord
 //	GET  /healthz    liveness ("ok")
 //	GET  /statsz     JSON counters: requests, rejections, in-flight,
-//	                 p50/p99 latency, per-worker arena reuse stats
+//	                 p50/p99 latency, per-worker arena reuse stats,
+//	                 sweep coordinator lease/re-lease/merge counters
 //
 // Every response the solve and verify endpoints produce is a pure
 // function of the request body: workers carry no identity into results,
@@ -36,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/coord"
 	"repro/internal/heuristics"
 )
 
@@ -58,6 +63,10 @@ type Config struct {
 	// MaxOps rejects instances larger than this many operators with
 	// 413 before they reach a worker; <= 0 means 2000.
 	MaxOps int
+	// SweepLeaseTTL is the default lease deadline the sweep coordinator
+	// grants workers; <= 0 means the coordinator's 30s default. Jobs may
+	// override per submission via lease_ttl_ms.
+	SweepLeaseTTL time.Duration
 }
 
 // maxBodyBytes bounds request bodies; an inline 2000-operator instance
@@ -99,6 +108,11 @@ type Server struct {
 	lat     latencyWindow
 	workers []workerStats
 
+	// coord schedules distributed sweep jobs (see sweep.go). It owns no
+	// goroutines — lease expiry is lazy — so Close has nothing extra to
+	// drain.
+	coord *coord.Coordinator
+
 	// testHookJobStart, when set before any request arrives, runs on the
 	// worker goroutine at the start of every job; tests use it to hold
 	// workers busy deterministically (queue-full and deadline paths).
@@ -125,6 +139,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/verify", func(w http.ResponseWriter, r *http.Request) {
 		s.dispatch(w, r, jobVerify)
 	})
+	s.coord = coord.New(coord.Config{DefaultLeaseTTL: cfg.SweepLeaseTTL})
+	s.registerSweep()
 	s.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		go s.worker(w)

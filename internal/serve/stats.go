@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/coord"
 )
 
 // counters are the server-wide monotonic counters behind /statsz.
@@ -103,6 +105,12 @@ type statszResponse struct {
 	} `json:"latency"`
 
 	PerWorker []workerStatsJSON `json:"per_worker"`
+
+	// Sweep carries the distributed sweep coordinator's lifetime
+	// counters: jobs, leases granted, renewals, releases (expired leases
+	// re-offered — straggler and dead-worker recoveries), duplicate
+	// completions discarded, and merge latency.
+	Sweep coord.SweepStats `json:"sweep"`
 }
 
 type workerStatsJSON struct {
@@ -135,6 +143,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		Timeouts:         s.stats.timeouts.Load(),
 	}
 	resp.Latency.P50MS, resp.Latency.P99MS, resp.Latency.Count = s.lat.quantiles()
+	resp.Sweep = s.coord.StatsSnapshot()
 	for i := range s.workers {
 		ws := &s.workers[i]
 		resp.PerWorker = append(resp.PerWorker, workerStatsJSON{

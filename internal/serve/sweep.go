@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/coord"
+)
+
+// Sweep endpoints: the distributed sweep coordinator (internal/coord)
+// mounted on the daemon. Unlike solve/verify these never touch the
+// worker pool — coordination is cheap mutex-guarded bookkeeping, and
+// the actual shard computation happens in external sweepworker
+// processes — so sweep traffic can neither occupy nor be shed by the
+// solve queue. The final merge runs inline on the HTTP goroutine of
+// whichever worker completes the last shard.
+//
+//	POST /v1/sweep                submit a job            -> {"id": ...}
+//	GET  /v1/sweep/{id}           progress snapshot
+//	GET  /v1/sweep/{id}/result    merged .dat text (409 until done)
+//	POST /v1/sweep/lease          claim a shard of any running job
+//	POST /v1/sweep/{id}/lease     claim a shard of one job
+//	POST /v1/sweep/{id}/renew     heartbeat a lease
+//	POST /v1/sweep/{id}/complete  deliver a shard's cells
+//
+// Status mapping: 204 no claimable work, 404 unknown job, 409 lease
+// lost / result not ready, 410 job finished (per-job claim), 429 too
+// many live jobs.
+
+// registerSweep mounts the coordinator routes on the server mux.
+func (s *Server) registerSweep() {
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweepSubmit)
+	s.mux.HandleFunc("POST /v1/sweep/lease", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSweepClaim(w, r, "")
+	})
+	s.mux.HandleFunc("GET /v1/sweep/{id}", s.handleSweepProgress)
+	s.mux.HandleFunc("GET /v1/sweep/{id}/result", s.handleSweepResult)
+	s.mux.HandleFunc("POST /v1/sweep/{id}/lease", func(w http.ResponseWriter, r *http.Request) {
+		s.handleSweepClaim(w, r, r.PathValue("id"))
+	})
+	s.mux.HandleFunc("POST /v1/sweep/{id}/renew", s.handleSweepRenew)
+	s.mux.HandleFunc("POST /v1/sweep/{id}/complete", s.handleSweepComplete)
+}
+
+// readSweepBody reads and decodes a sweep request body into dst.
+// Sweep bodies carry whole shard-cell artifacts, so the cap is wider
+// than the solve endpoints' maxBodyBytes.
+const maxSweepBodyBytes = 64 << 20
+
+func readSweepBody(r *http.Request, dst any) *httpError {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSweepBodyBytes+1))
+	if err != nil {
+		return &httpError{http.StatusBadRequest, fmt.Sprintf("reading body: %v", err)}
+	}
+	if len(body) > maxSweepBodyBytes {
+		return &httpError{http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("body exceeds %d bytes", maxSweepBodyBytes)}
+	}
+	if err := json.Unmarshal(body, dst); err != nil {
+		return &httpError{http.StatusBadRequest, fmt.Sprintf("decoding JSON: %v", err)}
+	}
+	return nil
+}
+
+// sweepError maps coordinator sentinels onto HTTP statuses.
+func (s *Server) sweepError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, coord.ErrUnknownJob):
+		s.clientError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, coord.ErrLeaseLost), errors.Is(err, coord.ErrNotDone):
+		s.clientError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, coord.ErrJobDone):
+		s.clientError(w, http.StatusGone, err.Error())
+	case errors.Is(err, coord.ErrTooManyJobs):
+		s.clientError(w, http.StatusTooManyRequests, err.Error())
+	default:
+		s.clientError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec coord.SweepJob
+	if herr := readSweepBody(r, &spec); herr != nil {
+		s.clientError(w, herr.status, herr.msg)
+		return
+	}
+	id, err := s.coord.Submit(spec)
+	if err != nil {
+		s.sweepError(w, err)
+		return
+	}
+	s.writeSweepJSON(w, http.StatusOK, struct {
+		ID string `json:"id"`
+	}{id})
+}
+
+func (s *Server) handleSweepProgress(w http.ResponseWriter, r *http.Request) {
+	p, err := s.coord.Progress(r.PathValue("id"))
+	if err != nil {
+		s.sweepError(w, err)
+		return
+	}
+	s.writeSweepJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleSweepResult(w http.ResponseWriter, r *http.Request) {
+	dat, err := s.coord.Result(r.PathValue("id"))
+	if err != nil {
+		s.sweepError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(dat)
+}
+
+func (s *Server) handleSweepClaim(w http.ResponseWriter, r *http.Request, jobID string) {
+	var req struct {
+		Worker string `json:"worker"`
+	}
+	if herr := readSweepBody(r, &req); herr != nil {
+		s.clientError(w, herr.status, herr.msg)
+		return
+	}
+	lease, err := s.coord.Claim(jobID, req.Worker)
+	switch {
+	case errors.Is(err, coord.ErrNoWork):
+		w.WriteHeader(http.StatusNoContent)
+		return
+	case err != nil:
+		s.sweepError(w, err)
+		return
+	}
+	s.writeSweepJSON(w, http.StatusOK, lease)
+}
+
+func (s *Server) handleSweepRenew(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Shard int    `json:"shard"`
+		Token string `json:"token"`
+	}
+	if herr := readSweepBody(r, &req); herr != nil {
+		s.clientError(w, herr.status, herr.msg)
+		return
+	}
+	ttlMS, err := s.coord.Renew(r.PathValue("id"), req.Shard, req.Token)
+	if err != nil {
+		s.sweepError(w, err)
+		return
+	}
+	s.writeSweepJSON(w, http.StatusOK, struct {
+		TTLMS int64 `json:"ttl_ms"`
+	}{ttlMS})
+}
+
+func (s *Server) handleSweepComplete(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Shard  int    `json:"shard"`
+		Token  string `json:"token"`
+		Worker string `json:"worker"`
+		Cells  string `json:"cells"`
+	}
+	if herr := readSweepBody(r, &req); herr != nil {
+		s.clientError(w, herr.status, herr.msg)
+		return
+	}
+	err := s.coord.Complete(r.PathValue("id"), req.Shard, req.Token, req.Worker, []byte(req.Cells))
+	switch {
+	case errors.Is(err, coord.ErrDuplicate):
+		// Benign by the determinism contract: someone else's identical
+		// result was already accepted. 200 with a flag, not an error.
+		s.writeSweepJSON(w, http.StatusOK, struct {
+			Duplicate bool `json:"duplicate"`
+		}{true})
+		return
+	case err != nil:
+		s.sweepError(w, err)
+		return
+	}
+	s.writeSweepJSON(w, http.StatusOK, struct {
+		Duplicate bool `json:"duplicate"`
+	}{false})
+}
+
+// writeSweepJSON marshals and writes one OK sweep reply, counting it.
+func (s *Server) writeSweepJSON(w http.ResponseWriter, status int, body any) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		s.clientError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.stats.ok.Add(1)
+	writeJSON(w, status, append(buf, '\n'))
+}

@@ -1,0 +1,161 @@
+#!/usr/bin/env sh
+# coord_smoke.sh — end-to-end smoke test for the distributed sweep
+# coordinator (cmd/serve + internal/coord + cmd/sweepworker).
+#
+# Builds the real binaries, produces the unsharded golden .dat with
+# cmd/experiments, boots the daemon with short shard leases, submits a
+# 3-shard fig2a job, and runs three real worker processes:
+#
+#   w1  a straggler (sleeps before computing, never renews) that is
+#       kill -KILL'd mid-shard — a worker dying with a live lease,
+#   w2  a straggler that survives but whose lease expires and is
+#       re-offered; its late completion must be discarded,
+#   w3  a healthy worker that picks up everything, including the
+#       recovered shards.
+#
+# The job must still finish, its merged figure output must be
+# byte-identical to the unsharded single-process run, the coordinator
+# must record at least one re-lease, and SIGTERM must drain the daemon
+# and the surviving workers to clean exit 0. Run via `make coord-smoke`.
+set -eu
+
+GO=${GO:-go}
+DIR=${COORD_SMOKE_DIR:-.coord-smoke}
+
+fail() {
+    echo "coord-smoke: FAIL: $*" >&2
+    exit 1
+}
+
+cleanup() {
+    for pid in "${W1_PID:-}" "${W2_PID:-}" "${W3_PID:-}" "${SERVE_PID:-}"; do
+        if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+            kill -KILL "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+rm -rf "$DIR"
+mkdir -p "$DIR/full"
+
+"$GO" build -o "$DIR/serve" ./cmd/serve
+"$GO" build -o "$DIR/sweepworker" ./cmd/sweepworker
+"$GO" build -o "$DIR/experiments" ./cmd/experiments
+
+# The unsharded golden: the same figure built in one process.
+"$DIR/experiments" -seeds 2 -only fig2a -out "$DIR/full" >/dev/null ||
+    fail "unsharded golden run failed"
+[ -s "$DIR/full/fig2a.dat" ] || fail "golden fig2a.dat missing"
+
+# Short leases so the killed and straggling workers' shards are
+# re-offered within the smoke's budget.
+"$DIR/serve" -addr 127.0.0.1:0 -workers 2 -sweep-lease-ttl 2s \
+    -port-file "$DIR/port" 2>"$DIR/serve.log" &
+SERVE_PID=$!
+
+i=0
+while [ ! -s "$DIR/port" ]; do
+    kill -0 "$SERVE_PID" 2>/dev/null || {
+        cat "$DIR/serve.log" >&2
+        fail "daemon exited before publishing its port"
+    }
+    i=$((i + 1))
+    [ "$i" -le 100 ] || fail "daemon did not publish a port within 10s"
+    sleep 0.1
+done
+ADDR=$(head -n1 "$DIR/port")
+
+# Submit the 3-shard job and extract its id (no jq dependency).
+curl -fsS -X POST -d '{"figure":"fig2a","seeds":2,"base_seed":1,"shards":3}' \
+    "http://$ADDR/v1/sweep" >"$DIR/submit.json" ||
+    fail "POST /v1/sweep did not answer 200"
+JOB=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' "$DIR/submit.json")
+[ -n "$JOB" ] || fail "submit response carries no job id: $(cat "$DIR/submit.json")"
+
+# w1: claims a shard, sleeps without renewing, and is killed mid-shard.
+"$DIR/sweepworker" -coord "http://$ADDR" -name w1 -job "$JOB" \
+    -slow 30s -no-renew 2>"$DIR/w1.log" &
+W1_PID=$!
+# w2: a surviving straggler — slower than the lease TTL, never renews,
+# so its shard is re-leased and its eventual result discarded.
+"$DIR/sweepworker" -coord "http://$ADDR" -name w2 -job "$JOB" \
+    -slow 4s -no-renew -poll 200ms 2>"$DIR/w2.log" &
+W2_PID=$!
+# w3: healthy.
+"$DIR/sweepworker" -coord "http://$ADDR" -name w3 -job "$JOB" \
+    -poll 200ms 2>"$DIR/w3.log" &
+W3_PID=$!
+
+# Give w1 time to grab its lease, then kill it mid-shard.
+sleep 1
+kill -KILL "$W1_PID" 2>/dev/null || fail "w1 already gone before the kill"
+W1_PID=
+
+# Poll progress until the job reports done (well past 2 lease expiries).
+i=0
+while :; do
+    curl -fsS "http://$ADDR/v1/sweep/$JOB" >"$DIR/progress.json" ||
+        fail "GET /v1/sweep/$JOB did not answer 200"
+    # The job-level state is adjacent to the done-counter; a bare
+    # `"state":"done"` would also match individual finished shards.
+    grep -q '"state":"done","done":' "$DIR/progress.json" && break
+    grep -q '"state":"failed","done":' "$DIR/progress.json" && {
+        cat "$DIR/progress.json" >&2
+        fail "job failed"
+    }
+    i=$((i + 1))
+    [ "$i" -le 120 ] || {
+        cat "$DIR/progress.json" >&2
+        fail "job did not finish within 60s"
+    }
+    sleep 0.5
+done
+
+# Fault tolerance must actually have been exercised: the killed (and/or
+# straggling) worker's lease was re-offered at least once.
+grep -q '"releases":0' "$DIR/progress.json" &&
+    fail "no lease was ever re-offered — fault injection did not bite: $(cat "$DIR/progress.json")"
+
+# The merged result must be byte-identical to the unsharded run.
+curl -fsS "http://$ADDR/v1/sweep/$JOB/result" >"$DIR/merged.dat" ||
+    fail "GET /v1/sweep/$JOB/result did not answer 200"
+cmp "$DIR/full/fig2a.dat" "$DIR/merged.dat" ||
+    fail "merged .dat differs from the unsharded golden"
+
+# statsz carries the coordinator counters.
+curl -fsS "http://$ADDR/statsz" >"$DIR/statsz.json" ||
+    fail "GET /statsz did not answer 200"
+grep -q '"merges": 1' "$DIR/statsz.json" ||
+    fail "/statsz does not record exactly one merge"
+
+# Surviving workers exit 0 on their own (job-pinned: ErrJobDone) or on
+# SIGTERM; both paths must be clean.
+for w in 2 3; do
+    eval "pid=\$W${w}_PID"
+    if kill -0 "$pid" 2>/dev/null; then
+        kill -TERM "$pid" 2>/dev/null || true
+    fi
+    STATUS=0
+    wait "$pid" || STATUS=$?
+    [ "$STATUS" -eq 0 ] || {
+        cat "$DIR/w$w.log" >&2
+        fail "worker w$w exited $STATUS, want 0"
+    }
+    eval "W${w}_PID="
+done
+
+# Graceful daemon drain: SIGTERM must produce a clean exit 0.
+kill -TERM "$SERVE_PID"
+STATUS=0
+wait "$SERVE_PID" || STATUS=$?
+[ "$STATUS" -eq 0 ] || {
+    cat "$DIR/serve.log" >&2
+    fail "daemon exited $STATUS on SIGTERM, want 0"
+}
+grep -q "drained, exiting" "$DIR/serve.log" ||
+    fail "daemon log does not record the graceful drain"
+SERVE_PID=
+
+echo "coord-smoke: 3-shard sweep survived a killed worker and a straggler; merged output byte-identical; drained cleanly"

@@ -1,6 +1,8 @@
 package streamalloc
 
 import (
+	"context"
+
 	"repro/internal/apptree"
 	"repro/internal/experiments"
 	"repro/internal/multiapp"
@@ -45,10 +47,21 @@ func DerivedSeeds(label string) func(base int64, xi, rep int) int64 {
 	return experiments.DerivedSeeds(label)
 }
 
-// SweepFigure runs one of the repository's named paper figures ("fig2a",
-// "fig2b", "fig3", ...; see FigureIDs) on the Grid engine.
+// SweepFigureCtx runs one of the repository's named paper figures
+// ("fig2a", "fig2b", "fig3", ...; see FigureIDs) on the Grid engine.
+// Cancelling ctx aborts the sweep between cells — the same contract as
+// Grid.Run — which is what lets coordinator-driven and deadline-bound
+// runs stop cleanly.
+func SweepFigureCtx(ctx context.Context, id string, cfg SweepConfig) (*SweepResult, error) {
+	return experiments.BuildFigure(ctx, id, cfg)
+}
+
+// SweepFigure is SweepFigureCtx without cancellation.
+//
+// Deprecated: use SweepFigureCtx, which threads a context.Context
+// through the sweep.
 func SweepFigure(id string, cfg SweepConfig) (*SweepResult, error) {
-	return experiments.BuildFigure(id, cfg)
+	return SweepFigureCtx(context.Background(), id, cfg)
 }
 
 // FigureIDs lists the reproducible paper-figure ids.

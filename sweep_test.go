@@ -126,11 +126,14 @@ func TestPublicMultiTenantSweep(t *testing.T) {
 		BaseSeed:   1,
 		Verify:     &streamalloc.SimOptions{Results: 60},
 		Make: func(env *streamalloc.WorkerEnv, x float64, seed int64) (*streamalloc.Instance, error) {
+			// The worker-arena path: env.RandomTree/env.Combine draw the
+			// same streams as the one-shot RandomTree/Combine, so cells
+			// are identical and steady-state allocation-free.
 			apps := []streamalloc.App{
-				{Tree: streamalloc.RandomTree(streamalloc.SeedFor(seed, "dashboard"), 8, w.NumTypes), Rho: 1},
-				{Tree: streamalloc.RandomTree(streamalloc.SeedFor(seed, "alerting"), 10, w.NumTypes), Rho: x},
+				{Tree: env.RandomTree(streamalloc.SeedFor(seed, "dashboard"), 8, w.NumTypes), Rho: 1},
+				{Tree: env.RandomTree(streamalloc.SeedFor(seed, "alerting"), 10, w.NumTypes), Rho: x},
 			}
-			return streamalloc.Combine(apps, w)
+			return env.Combine(apps, w)
 		},
 	}
 	cells, err := g.Cells(context.Background())
