@@ -45,10 +45,13 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/exact"
 	"repro/internal/experiments"
 	"repro/internal/heuristics"
 	"repro/internal/instance"
 	"repro/internal/multiapp"
+	"repro/internal/platform"
+	"repro/internal/refine"
 	"repro/internal/rng"
 	"repro/internal/serve"
 	"repro/internal/stream"
@@ -257,6 +260,54 @@ func run(seeds, itersScale int) (*Report, error) {
 			i++
 			s.Options.Seed = it.Seed
 			s.SolveAll(it.Inst)
+		}))
+	}
+
+	// Journal-on solve: the same subtree solve as solve/subtree/N=600
+	// with the move journal recording — its entry makes the journal's
+	// overhead an explicit, ns-gated number next to the journal-off one.
+	{
+		cell := cellItems(corpus, 600, 0.9)
+		i := 0
+		name := "solve/subtree/journal/N=600,alpha=0.9"
+		add(measure(name, solveIters(600)*itersScale, true, func() {
+			it := cell[i%len(cell)]
+			i++
+			if _, err := heuristics.Solve(it.Inst, heuristics.SubtreeBottomUp{}, heuristics.Options{Seed: it.Seed, Journal: true}); err != nil && !core.IsInfeasible(err) {
+				panic(fmt.Sprintf("%s: %v", name, err))
+			}
+		}))
+	}
+
+	// Exact: branch-and-bound on a pinned multi-processor CONSTR-HOM
+	// instance (slow CPU, 176 search nodes). The DFS backtracks through
+	// the move journal and no longer clones per leaf, so the entry
+	// alloc-gates the whole search.
+	{
+		p := platform.DefaultPlatform()
+		p.Catalog = platform.Homogeneous(0, 4)
+		in := instance.Generate(instance.Config{NumOps: 14, Alpha: 2.0, Platform: p}, 2)
+		name := "solve/exact/N=14,alpha=2"
+		add(measure(name, 30*itersScale, true, func() {
+			if _, err := exact.Solve(in, exact.Limits{}); err != nil {
+				panic(fmt.Sprintf("%s: %v", name, err))
+			}
+		}))
+	}
+
+	// Refine: the SA+LNS refinement layer (journaled moves, rollback on
+	// rejection) over corpus cells, rotating seeds. Deterministic and
+	// single-goroutine, so alloc-gated.
+	for _, n := range []int{20, 60} {
+		cell := cellItems(corpus, n, 0.9)
+		i := 0
+		name := fmt.Sprintf("refine/solve/N=%d,alpha=0.9", n)
+		add(measure(name, 5*itersScale, true, func() {
+			it := cell[i%len(cell)]
+			i++
+			if _, err := refine.Refine(it.Inst, refine.Options{Seed: it.Seed}); err != nil && !core.IsInfeasible(err) {
+				panic(fmt.Sprintf("%s: %v", name, err))
+			}
 		}))
 	}
 

@@ -7,9 +7,10 @@
 //	experiments [-seeds N] [-out DIR] [-only ID] [-workers W] [-verify]
 //	experiments -shard i/n [-only ID] ...   # compute one shard's cells
 //	experiments -merge n   [-only ID] ...   # merge n shards into .dat
+//	experiments -refine-gate [-seeds N]     # per-cell Refined-dominance check
 //
-// IDs: fig2a fig2b fig3 fig3n20 large freq optimal table1 v1 abl-downgrade
-// abl-selection ilpwall (default: all).
+// IDs: fig2a fig2b fig3 fig3n20 large freq refine optimal table1 v1
+// abl-downgrade abl-selection ilpwall (default: all).
 //
 // Sharded figure runs scale a sweep across machines: every shard writes
 // <out>/<id>.cells.<i>-of-<n>, and -merge reassembles them into .dat
@@ -38,11 +39,23 @@ func main() {
 	shardFlag := flag.String("shard", "", "compute only shard i/n of every figure's cells (e.g. -shard 0/2)")
 	mergeFlag := flag.Int("merge", 0, "merge n shards' cell files from -out into figures")
 	verify := flag.Bool("verify", false, "execute every feasible figure cell on the stream engine and report the verdict")
+	refineGate := flag.Bool("refine-gate", false, "run only the refine figure's per-cell dominance gate (Refined <= best constructive on every instance) and exit")
 	flag.Parse()
 
 	cfg := experiments.Config{Seeds: *seeds, BaseSeed: 1, Workers: *workers, Verify: *verify}
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
+	}
+	if *refineGate {
+		if *shardFlag != "" || *mergeFlag > 0 {
+			fatal(fmt.Errorf("-refine-gate runs unsharded"))
+		}
+		checked, err := experiments.RefineGate(context.Background(), cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("refine gate: Refined <= best constructive on all %d instances\n", checked)
+		return
 	}
 	if *shardFlag != "" && *mergeFlag > 0 {
 		fatal(fmt.Errorf("-shard and -merge are mutually exclusive"))

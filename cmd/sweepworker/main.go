@@ -10,8 +10,13 @@
 //
 // Usage:
 //
-//	sweepworker -coord http://host:port [-name N] [-job ID] [-workers W]
-//	            [-poll D] [-exit-idle]
+//	sweepworker -coord http://host:port[,http://host2:port] [-name N]
+//	            [-job ID] [-workers W] [-poll D] [-exit-idle]
+//
+// -coord accepts a comma-separated failover list: connection-level
+// errors rotate to the next endpoint (the answering one becomes the
+// primary), so a worker survives a coordinator restart behind a new
+// address without restarting itself.
 //
 // Fault-injection flags, used by the coord-smoke CI gate and
 // fault-tolerance tests to script misbehaving workers:
@@ -37,7 +42,7 @@ import (
 
 func main() {
 	var (
-		coordURL = flag.String("coord", "http://127.0.0.1:8080", "coordinator base URL")
+		coordURL = flag.String("coord", "http://127.0.0.1:8080", "coordinator base URL, or a comma-separated failover list (rotates on connection errors)")
 		name     = flag.String("name", "", "worker name in leases and progress (default: sweepworker-<pid>)")
 		job      = flag.String("job", "", "pin to one job id; exits when it finishes (default: claim from any job)")
 		workers  = flag.Int("workers", 0, "per-shard compute parallelism (0: one per CPU)")

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,16 +17,50 @@ import (
 // (cmd/serve). Methods map HTTP statuses back onto the package's
 // sentinel errors, so worker loops can branch with errors.Is exactly
 // as they would against an in-process Coordinator.
+//
+// A Client can carry several equivalent coordinator endpoints (a
+// restarted daemon, a hot standby behind distinct addresses): a
+// transport-level failure — connection refused/reset, DNS, timeout;
+// never an HTTP status — rotates to the next endpoint within the same
+// call, and the endpoint that answers becomes the new primary. HTTP
+// errors never rotate: every replica would answer the same. When every
+// endpoint is down the last transport error is returned, and the
+// caller's retry loop (RunWorker backs off with jitter between claim
+// attempts) provides the pacing before the rotation is probed again.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	// Ignored when Endpoints is set.
 	BaseURL string
+	// Endpoints is the failover rotation. Empty means BaseURL only.
+	Endpoints []string
 	// HTTPClient overrides the transport; nil means http.DefaultClient.
 	HTTPClient *http.Client
+
+	// cursor indexes Endpoints at the current primary; atomic because
+	// the worker's heartbeat goroutine shares the Client with its
+	// solve loop.
+	cursor atomic.Int64
 }
 
-// NewClient returns a Client for the daemon at baseURL.
+// NewClient returns a Client for the daemon(s) at baseURL: a single
+// root, or a comma-separated failover list such as
+// "http://a:8080,http://b:8080" (tried in order, rotating on
+// connection errors).
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+	var eps []string
+	for _, p := range strings.Split(baseURL, ",") {
+		if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+			eps = append(eps, p)
+		}
+	}
+	c := &Client{}
+	if len(eps) > 0 {
+		c.BaseURL = eps[0]
+	}
+	if len(eps) > 1 {
+		c.Endpoints = eps
+	}
+	return c
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -35,26 +70,68 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// endpoints returns the rotation list (BaseURL alone without failover).
+func (c *Client) endpoints() []string {
+	if len(c.Endpoints) > 0 {
+		return c.Endpoints
+	}
+	return []string{strings.TrimRight(c.BaseURL, "/")}
+}
+
+// send builds the request against the current primary endpoint and
+// issues it, rotating across the failover list on transport errors —
+// once around at most, stopping early on context cancellation (which
+// is the caller's doing, not an endpoint's).
+func (c *Client) send(ctx context.Context, build func(base string) (*http.Request, error)) (*http.Response, error) {
+	eps := c.endpoints()
+	start := c.cursor.Load()
+	var lastErr error
+	for i := 0; i < len(eps); i++ {
+		idx := (start + int64(i)) % int64(len(eps))
+		req, err := build(eps[idx])
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.httpClient().Do(req)
+		if err == nil {
+			c.cursor.Store(idx) // the answering endpoint is the new primary
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
 // doJSON issues one request and decodes a JSON reply into out (unless
 // out is nil or the status is 204). Non-2xx replies become errors
 // carrying the server's {"error": ...} message.
 func (c *Client) doJSON(ctx context.Context, method, path string, body, out any) (int, error) {
-	var rd io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
 			return 0, err
 		}
-		rd = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
-	if err != nil {
-		return 0, err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.send(ctx, func(base string) (*http.Request, error) {
+		// A fresh reader per attempt: a failed endpoint may have
+		// consumed part of the body before the connection dropped.
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(buf)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		return req, nil
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -170,11 +247,9 @@ func (c *Client) Complete(ctx context.Context, l *Lease, worker string, cells []
 // Result fetches the merged figure's .dat text; ErrNotDone while
 // shards are still outstanding.
 func (c *Client) Result(ctx context.Context, jobID string) (string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/sweep/"+jobID+"/result", nil)
-	if err != nil {
-		return "", err
-	}
-	resp, err := c.httpClient().Do(req)
+	resp, err := c.send(ctx, func(base string) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/sweep/"+jobID+"/result", nil)
+	})
 	if err != nil {
 		return "", err
 	}

@@ -67,6 +67,12 @@ func Solve(in *instance.Instance, lim Limits) (*Result, error) {
 
 	order := in.Tree.BottomUp()
 	m := mapping.New(in)
+	// The DFS backtracks through the move journal: every branch checkpoints,
+	// recurses and rolls back, so the journal never holds more than the
+	// records along the current root-to-node path and a complete leaf is
+	// undone — server selection included — without cloning. The mapping is
+	// cloned only when a leaf strictly improves the incumbent.
+	m.SetJournal(true)
 
 	// Seed the incumbent with a heuristic solution to prune early.
 	bestProcs := math.MaxInt
@@ -94,26 +100,25 @@ func Solve(in *instance.Instance, lim Limits) (*Result, error) {
 			budgetHit = true
 			return
 		}
-		used := len(m.AliveProcs())
+		// Rollback pops rejected purchases, so every processor is alive and
+		// the processor count is the purchase count.
+		used := len(m.Procs)
 		if used >= bestProcs {
 			return
 		}
 		if idx == len(order) {
-			c := m.Clone()
-			if err := heuristics.SelectServersThreeLoop(c); err != nil {
-				return
+			mark := m.Checkpoint()
+			if heuristics.SelectServersThreeLoop(m) == nil && m.Validate() == nil {
+				bestProcs = used
+				bestMapping = m.Clone() // strict improvement: snapshot
 			}
-			if err := c.Validate(); err != nil {
-				return
-			}
-			bestProcs = used
-			bestMapping = c
+			m.Rollback(mark) // undo the server selection; placement stays
 			return
 		}
 		// Compute-slack bound: the remaining work cannot fit in fewer than
 		// lbExtra additional processors.
 		slack := 0.0
-		for _, p := range m.AliveProcs() {
+		for p := 0; p < used; p++ {
 			slack += speed - m.ComputeLoad(p)
 		}
 		if rem := suffixWork[idx] - slack; rem > 0 {
@@ -123,22 +128,22 @@ func Solve(in *instance.Instance, lim Limits) (*Result, error) {
 			}
 		}
 		op := order[idx]
-		for _, p := range m.AliveProcs() {
+		for p := 0; p < used; p++ {
+			mark := m.Checkpoint()
 			if m.TryPlace(p, op) {
 				dfs(idx + 1)
-				m.Unplace(op)
-				if budgetHit {
-					return
-				}
+			}
+			m.Rollback(mark)
+			if budgetHit {
+				return
 			}
 		}
 		if used+1 < bestProcs {
-			p := m.Buy(cfg)
-			if m.TryPlace(p, op) {
+			mark := m.Checkpoint()
+			if m.TryPlace(m.Buy(cfg), op) {
 				dfs(idx + 1)
-				m.Unplace(op)
 			}
-			m.Sell(p)
+			m.Rollback(mark) // un-buys the fresh processor again
 		}
 	}
 	dfs(0)

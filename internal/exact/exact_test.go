@@ -114,3 +114,51 @@ func TestBudgetExhaustion(t *testing.T) {
 		}
 	}
 }
+
+// BenchmarkSolve measures the branch-and-bound search on a pinned
+// multi-processor instance (slow homogeneous CPU, so the search actually
+// branches); cmd/bench derives its gated solve/exact entries from the
+// same shape.
+func BenchmarkSolve(b *testing.B) {
+	p := platform.DefaultPlatform()
+	p.Catalog = platform.Homogeneous(0, 4)
+	in := instance.Generate(instance.Config{NumOps: 14, Alpha: 2.0, Platform: p}, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(in, Limits{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestExactHeuristicByName: the "Exact" adapter runs through the full
+// solve pipeline and lands on the same optimum Solve reports.
+func TestExactHeuristicByName(t *testing.T) {
+	h, err := heuristics.ByName("Exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := platform.DefaultPlatform()
+	p.Catalog = platform.Homogeneous(0, 4)
+	in := instance.Generate(instance.Config{NumOps: 12, Alpha: 2.0, Platform: p}, 0)
+	res, err := heuristics.Solve(in, h, heuristics.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Solve(in, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != want.Cost || res.Procs != want.Procs {
+		t.Fatalf("pipeline got cost=%v procs=%d, Solve got cost=%v procs=%d",
+			res.Cost, res.Procs, want.Cost, want.Procs)
+	}
+	if err := res.Mapping.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Heterogeneous cells must fail loudly, not silently approximate.
+	het := instance.Generate(instance.Config{NumOps: 12, Alpha: 2.0}, 0)
+	if _, err := heuristics.Solve(het, h, heuristics.Options{}); !errors.Is(err, ErrHeterogeneous) {
+		t.Fatalf("want ErrHeterogeneous, got %v", err)
+	}
+}

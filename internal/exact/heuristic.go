@@ -1,0 +1,43 @@
+package exact
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/heuristics"
+	"repro/internal/mapping"
+)
+
+// Exact adapts Solve to the heuristics.Heuristic interface so the
+// branch-and-bound optimum can run through the experiment Grid and CLIs
+// by name, next to the constructive heuristics and the refinement layer.
+// It is registered with heuristics.ByName as "Exact" (default limits).
+//
+// Like Solve it only supports homogeneous catalogs (CONSTR-HOM); on
+// heterogeneous cells the placement fails with ErrHeterogeneous. When the
+// node budget runs out the best mapping found so far is used, so a cell
+// degrades to "best found" rather than failing.
+type Exact struct {
+	Limits Limits
+}
+
+func init() { heuristics.Register(Exact{}) }
+
+// Name implements heuristics.Heuristic.
+func (Exact) Name() string { return "Exact" }
+
+// Place implements heuristics.Heuristic: it runs the branch-and-bound
+// search and copies the optimal placement into m. Server selection is
+// redone by the pipeline on the copied placement (the search already
+// proved one exists), so downstream steps see exactly the state any
+// other heuristic leaves behind. The rand stream is unused: the search
+// is deterministic.
+func (e Exact) Place(pc *heuristics.PlaceContext, m *mapping.Mapping, r *rand.Rand) error {
+	res, err := Solve(m.Inst, e.Limits)
+	if err != nil && (res == nil || !errors.Is(err, ErrBudget)) {
+		return err
+	}
+	m.CopyFrom(res.Mapping)
+	m.ClearDownloads()
+	return nil
+}

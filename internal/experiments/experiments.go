@@ -292,7 +292,7 @@ func figDefs() []figDef {
 			}),
 		},
 	}
-	defs = append(defs, ablationDowngradeDef(), ablationSelectionDef())
+	defs = append(defs, refineDef(), ablationDowngradeDef(), ablationSelectionDef())
 	return defs
 }
 

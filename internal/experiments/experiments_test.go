@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -230,4 +231,49 @@ func fmtSscan(s string, v *float64) (int, error) {
 
 func sscan(s string, v *float64) (int, error) {
 	return fmt.Sscan(s, v)
+}
+
+// TestRefineFigure covers the PR 8 figure end to end: the grid runs, the
+// per-cell dominance gate holds, and the sharded run reassembles the
+// byte-identical .dat at any worker count.
+func TestRefineFigure(t *testing.T) {
+	cfg := Config{Seeds: 3, BaseSeed: 1}
+	checked, err := RefineGate(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("refine gate checked no instances")
+	}
+
+	full, err := BuildFigure(context.Background(), "refine", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := full.Dat()
+	if got := len(full.Series); got != 9 {
+		t.Fatalf("want 9 series (7 heuristic set + Refined + Exact), got %d", got)
+	}
+	for _, workers := range []int{1, 3} {
+		for _, shards := range []int{1, 2, 3} {
+			c := cfg
+			c.Workers = workers
+			parts := make([]*ShardCells, 0, shards)
+			for i := 0; i < shards; i++ {
+				sc, err := RunFigureShard(context.Background(), "refine", c, Shard{Index: i, Count: shards})
+				if err != nil {
+					t.Fatal(err)
+				}
+				parts = append(parts, sc)
+			}
+			fig, err := MergeFigure("refine", c, parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fig.Dat(); got != want {
+				t.Fatalf("workers=%d shards=%d: merged .dat differs from unsharded run\ngot:\n%s\nwant:\n%s",
+					workers, shards, got, want)
+			}
+		}
+	}
 }

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	_ "repro/internal/exact" // registers the "Exact" heuristic with ByName
+	"repro/internal/instance"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	_ "repro/internal/refine" // registers the "Refined" heuristic with ByName
+)
+
+// refinePlatform is the optimal-comparison table's CONSTR-HOM slow-CPU
+// platform: the whole tree stops fitting on one processor, so
+// multi-processor optima appear and the constructive heuristics, the
+// refinement layer and the branch-and-bound optimum can actually differ.
+func refinePlatform() *platform.Platform {
+	p := platform.DefaultPlatform()
+	p.Catalog = platform.Homogeneous(0, 4)
+	return p
+}
+
+// refineGrid is the sweep behind the "refine" figure and RefineGate: the
+// full heuristic set plus the refinement layer plus the exact optimum,
+// on small high-alpha CONSTR-HOM instances where the optimum is provable.
+func refineGrid(cfg Config) *Grid {
+	plat := refinePlatform()
+	g := stdGrid(cfg, []float64{6, 8, 10, 12}, func(x float64) instance.Config {
+		return instance.Config{NumOps: int(x), Alpha: 2.0, Platform: plat}
+	})
+	g.Heuristics = append(g.Heuristics, "Refined", "Exact")
+	return g
+}
+
+// refineDef is the PR's headline figure: per-heuristic mean cost next to
+// the refined and the exact-optimal curves. The constructive heuristics
+// fan out (the worst buys more processors than the best); "Refined" and
+// "Exact" sit on the optimal envelope.
+func refineDef() figDef {
+	return figDef{
+		id: "refine", title: "Refinement vs constructive heuristics vs exact optimum (CONSTR-HOM slow CPU, alpha=2.0)",
+		xlabel: "number of nodes", ylabel: "cost ($)",
+		units: []unitDef{{grid: refineGrid, fold: meanSeries}},
+	}
+}
+
+// RefineGate runs the refine figure's grid and enforces the refinement
+// layer's contract cell by cell (not on the plotted means, which average
+// over per-heuristic feasible sets and so cannot witness per-instance
+// dominance): on every (x, seed) instance where at least one constructive
+// heuristic finds a feasible mapping, "Refined" must be feasible too and
+// must not cost more than the cheapest constructive result. Returns the
+// number of instances checked; any violation is an error naming the cell.
+func RefineGate(ctx context.Context, cfg Config) (int, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	cfg = cfg.withDefaults()
+	g := refineGrid(cfg)
+	cells, err := g.Cells(ctx)
+	if err != nil {
+		return 0, err
+	}
+	nx, ns := len(g.Xs), g.Seeds
+	refined := -1
+	constructive := make([]int, 0, len(g.Heuristics))
+	for hi, name := range g.Heuristics {
+		switch name {
+		case "Refined":
+			refined = hi
+		case "Exact":
+		default:
+			constructive = append(constructive, hi)
+		}
+	}
+	checked := 0
+	for xi := 0; xi < nx; xi++ {
+		for s := 0; s < ns; s++ {
+			best := math.Inf(1)
+			for _, hi := range constructive {
+				if c := &cells[(hi*nx+xi)*ns+s]; c.Err == nil && c.Cost < best {
+					best = c.Cost
+				}
+			}
+			if math.IsInf(best, 1) {
+				continue // no constructive baseline on this instance
+			}
+			checked++
+			rc := &cells[(refined*nx+xi)*ns+s]
+			if rc.Err != nil {
+				return checked, fmt.Errorf("refine gate: N=%g seed=%d: Refined infeasible while a constructive heuristic found cost %.6g: %w",
+					rc.X, rc.Seed, best, rc.Err)
+			}
+			if rc.Cost > best+mapping.Eps {
+				return checked, fmt.Errorf("refine gate: N=%g seed=%d: Refined cost %.6g exceeds best constructive %.6g",
+					rc.X, rc.Seed, rc.Cost, best)
+			}
+		}
+	}
+	if checked == 0 {
+		return 0, fmt.Errorf("refine gate: no instance had a feasible constructive baseline")
+	}
+	return checked, nil
+}

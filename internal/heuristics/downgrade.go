@@ -25,7 +25,9 @@ func Downgrade(m *mapping.Mapping) error {
 			return fmt.Errorf("downgrade: no configuration sustains processor %d", p)
 		}
 		if cat.Cost(cfg) <= cat.Cost(m.Procs[p].Config) {
-			m.Procs[p].Config = cfg
+			// Through SetConfig so the swap lands in the move journal when
+			// one is recording (identical write otherwise).
+			m.SetConfig(p, cfg)
 		}
 	}
 	return nil

@@ -121,11 +121,44 @@ func All() []Heuristic {
 	}
 }
 
+// registered holds heuristics contributed by other packages through
+// Register; ByName consults it after the built-ins. Writes happen in
+// package init functions (refine's "Refined", exact's "Exact"), reads
+// from any goroutine afterwards, so no lock is needed.
+var registered = map[string]Heuristic{}
+
+// Register makes an externally-implemented Heuristic addressable through
+// ByName, so name-keyed surfaces (the sweep Grid, CLIs) can run it
+// alongside the paper's six. Meant to be called from package init (the
+// refinement layer and the exact solver register themselves); a name that
+// collides with a built-in or an earlier registration panics.
+func Register(h Heuristic) {
+	name := h.Name()
+	if _, err := byBuiltinName(name); err == nil {
+		panic(fmt.Sprintf("heuristics: Register(%q) collides with a built-in", name))
+	}
+	if _, dup := registered[name]; dup {
+		panic(fmt.Sprintf("heuristics: Register(%q) called twice", name))
+	}
+	registered[name] = h
+}
+
 // ByName returns the heuristic with the given Name. Besides the six
 // paper heuristics it recognizes the repository's A3 ablation variant
-// "Subtree-bottom-up-nofold", so name-keyed surfaces (the public sweep
-// Grid, CLIs) can address every heuristic the experiment harness plots.
+// "Subtree-bottom-up-nofold" and anything contributed via Register
+// ("Refined", "Exact"), so name-keyed surfaces (the public sweep Grid,
+// CLIs) can address every heuristic the experiment harness plots.
 func ByName(name string) (Heuristic, error) {
+	if h, err := byBuiltinName(name); err == nil {
+		return h, nil
+	}
+	if h, ok := registered[name]; ok {
+		return h, nil
+	}
+	return nil, fmt.Errorf("heuristics: unknown heuristic %q", name)
+}
+
+func byBuiltinName(name string) (Heuristic, error) {
 	for _, h := range All() {
 		if h.Name() == name {
 			return h, nil
@@ -153,6 +186,13 @@ type Options struct {
 	Selection     ServerSelectionMode
 	SkipDowngrade bool  // A1 ablation: keep the most expensive configurations
 	Seed          int64 // randomness for Random placement / random selection
+
+	// Journal runs the solve with the mapping's move journal recording
+	// (mapping.SetJournal). Constructive placements never roll back
+	// through it, so this is off by default and exists for overhead
+	// measurement and for callers that refine the returned arena mapping
+	// in place; the solution is identical either way.
+	Journal bool
 }
 
 // Result is a validated solution.
@@ -250,6 +290,7 @@ func (c *SolveContext) Solve(in *instance.Instance, h Heuristic, opts Options) (
 		m = mapping.New(in)
 		r = rng.Derive(opts.Seed, "heuristic:"+h.Name())
 	}
+	m.SetJournal(opts.Journal)
 	if err := h.Place(&c.place, m, r); err != nil {
 		return nil, fmt.Errorf("%s placement: %w", h.Name(), err)
 	}

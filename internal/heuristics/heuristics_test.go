@@ -2,9 +2,12 @@ package heuristics
 
 import (
 	"errors"
+	"fmt"
+	"math/rand"
 	"testing"
 
 	"repro/internal/instance"
+	"repro/internal/mapping"
 	"repro/internal/platform"
 )
 
@@ -405,4 +408,67 @@ func TestOneShotSolveAllocs(t *testing.T) {
 	if allocs > 80 {
 		t.Fatalf("one-shot Solve allocates %.1f allocs/op, want <= 80", allocs)
 	}
+}
+
+// TestJournaledSolveIdentical pins Options.Journal as pure observation:
+// recording the move journal during a solve must not change the solution
+// in any way.
+func TestJournaledSolveIdentical(t *testing.T) {
+	for _, n := range []int{20, 60} {
+		for seed := int64(0); seed < 3; seed++ {
+			in := instance.Generate(instance.Config{NumOps: n, Alpha: 0.9}, seed)
+			for _, h := range All() {
+				plain, perr := Solve(in, h, Options{Seed: seed})
+				logged, jerr := Solve(in, h, Options{Seed: seed, Journal: true})
+				if (perr == nil) != (jerr == nil) {
+					t.Fatalf("N=%d seed=%d %s: journal flipped feasibility: %v vs %v", n, seed, h.Name(), perr, jerr)
+				}
+				if perr != nil {
+					continue
+				}
+				if plain.Cost != logged.Cost || plain.Procs != logged.Procs {
+					t.Fatalf("N=%d seed=%d %s: journaled solve diverged: cost %v/%v procs %d/%d",
+						n, seed, h.Name(), plain.Cost, logged.Cost, plain.Procs, logged.Procs)
+				}
+				for op := range plain.Mapping.Assign {
+					if plain.Mapping.Assign[op] != logged.Mapping.Assign[op] {
+						t.Fatalf("N=%d seed=%d %s: journaled solve moved operator %d", n, seed, h.Name(), op)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRegister pins the external-heuristic registry: registered names
+// resolve through ByName, built-in collisions and duplicates panic.
+func TestRegister(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	h := nameOnlyHeuristic{name: "test-registered"}
+	Register(h)
+	t.Cleanup(func() { delete(registered, h.name) })
+	got, err := ByName(h.name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != h.name {
+		t.Fatalf("ByName returned %q", got.Name())
+	}
+	mustPanic("duplicate", func() { Register(h) })
+	mustPanic("builtin collision", func() { Register(nameOnlyHeuristic{name: SubtreeBottomUp{}.Name()}) })
+}
+
+type nameOnlyHeuristic struct{ name string }
+
+func (h nameOnlyHeuristic) Name() string { return h.name }
+func (h nameOnlyHeuristic) Place(pc *PlaceContext, m *mapping.Mapping, r *rand.Rand) error {
+	return fmt.Errorf("not a real heuristic")
 }

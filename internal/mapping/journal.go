@@ -1,0 +1,205 @@
+package mapping
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// Mark identifies a journal position returned by Checkpoint; Rollback
+// undoes every mutation recorded after it.
+type Mark int
+
+// recKind discriminates journal records. Every record is the *inverse* of
+// the mutation it was appended by: it stores the old values needed to
+// restore the pre-mutation state, never a delta. All mapping state behind
+// the records is integral (assignments, sorted operator lists, refcounts,
+// download-table entries, catalog indices) and every load query folds
+// over that state on demand, so replaying the inverses restores loads
+// bit-for-bit — there is no accumulated float state to drift.
+type recKind uint8
+
+const (
+	recAttach   recKind = iota // a=op; undo: detach(op)
+	recDetach                  // a=op, b=proc; undo: attach(op, b)
+	recBuy                     // a=proc (always the newest); undo: pop it
+	recSell                    // a=proc; undo: mark alive again (DL was kept)
+	recDLNew                   // a=proc; undo: recycle the (again empty) table
+	recDLInsert                // a=proc, b=object; undo: delete the entry
+	recDLSet                   // a=proc, b=object, c=old server; undo: restore
+	recConfig                  // a=proc, b=old CPU, c=old NIC; undo: restore
+)
+
+type record struct {
+	kind    recKind
+	a, b, c int
+}
+
+// SetJournal turns the per-mapping move journal on or off. While on,
+// every state mutation (Place/Unplace/Buy/Sell/SelectServer/SetConfig and
+// the adjacency updates behind them) appends its inverse record, so
+// Checkpoint/Rollback give O(#moves-since-mark) transactional undo with
+// zero allocations in steady state (the record slice is recycled).
+// Turning the journal off discards all pending records. The journal is
+// off by default: pure constructive solves pay nothing for it.
+//
+// Two deliberate asymmetries versus journal-off execution, both invisible
+// to every query: Sell keeps the dead processor's download table intact
+// (instead of recycling it) so Rollback can resurrect the processor
+// exactly — dead processors are skipped by Validate, ServerLoad and
+// Compact, and Reset recycles the tables as usual; and TryPlace rolls a
+// failed probe back through the journal instead of its private
+// previous-assignment buffer (the restored state is identical either
+// way).
+func (m *Mapping) SetJournal(on bool) {
+	m.jon = on
+	if !on {
+		m.journal = m.journal[:0]
+	}
+}
+
+// Journaling reports whether the move journal is recording.
+func (m *Mapping) Journaling() bool { return m.jon }
+
+// Checkpoint returns a mark for the current journal position. Marks nest:
+// rolling back to an outer mark undoes everything after it, including
+// regions inner marks were taken in. A mark is invalidated by Rollback
+// past it, CommitJournal, Reset, CopyFrom and SetJournal(false).
+func (m *Mapping) Checkpoint() Mark {
+	if !m.jon {
+		panic("mapping: Checkpoint without SetJournal(true)")
+	}
+	return Mark(len(m.journal))
+}
+
+// Rollback undoes every mutation recorded after mark, restoring the
+// mapping to the exact state it had at Checkpoint time — assignments,
+// adjacency, refcounts, processors and download tables all compare equal
+// to a Clone taken at the mark (the differential tests assert ==). Cost
+// is O(#records since mark), allocation-free.
+func (m *Mapping) Rollback(mark Mark) {
+	if int(mark) > len(m.journal) {
+		panic(fmt.Sprintf("mapping: Rollback(%d) past journal end %d", mark, len(m.journal)))
+	}
+	jon := m.jon
+	m.jon = false // the undos below must not journal themselves
+	for i := len(m.journal) - 1; i >= int(mark); i-- {
+		r := m.journal[i]
+		switch r.kind {
+		case recAttach:
+			m.detach(r.a)
+		case recDetach:
+			m.attach(r.a, r.b)
+		case recBuy:
+			m.unbuy(r.a)
+		case recSell:
+			m.Procs[r.a].Alive = true
+		case recDLNew:
+			// LIFO: every entry inserted after the table was created has
+			// been undone already, so the table is empty again.
+			m.dlFree = append(m.dlFree, m.DL[r.a])
+			m.DL[r.a] = nil
+		case recDLInsert:
+			delete(m.DL[r.a], r.b)
+		case recDLSet:
+			m.DL[r.a][r.b] = r.c
+		case recConfig:
+			m.Procs[r.a].Config = platform.Config{CPU: r.b, NIC: r.c}
+		}
+	}
+	m.journal = m.journal[:mark]
+	m.jon = jon
+}
+
+// CommitJournal accepts everything recorded so far: the records are
+// discarded and earlier marks become invalid. Local-search acceptors call
+// this after keeping a move so the journal never grows beyond one
+// tentative region.
+func (m *Mapping) CommitJournal() { m.journal = m.journal[:0] }
+
+// unbuy reverses the most recent Buy: processor p vanishes again. LIFO
+// rollback order guarantees p is the last slot and hosts nothing.
+func (m *Mapping) unbuy(p int) {
+	if p != len(m.Procs)-1 {
+		panic(fmt.Sprintf("mapping: journal unbuy of %d but %d processors exist", p, len(m.Procs)))
+	}
+	if lst := m.opsOn[p]; lst != nil {
+		m.opsFree = append(m.opsFree, lst[:0])
+	}
+	m.opsOn = m.opsOn[:p]
+	if d := m.DL[p]; d != nil {
+		// Possible only for a processor sold (DL kept) and resurrected
+		// within the rolled-back region; the table is clean to recycle.
+		clear(d)
+		m.dlFree = append(m.dlFree, d)
+	}
+	m.DL = m.DL[:p]
+	m.Procs = m.Procs[:p]
+	m.objRef = m.objRef[:p*m.Inst.NumTypes]
+}
+
+// SetConfig swaps processor p's purchased configuration in place. The
+// downgrade pass and the refinement layer's upgrade/refit moves use this
+// instead of writing Procs[p].Config directly so the swap lands in the
+// journal.
+func (m *Mapping) SetConfig(p int, cfg platform.Config) {
+	if m.jon {
+		old := m.Procs[p].Config
+		m.journal = append(m.journal, record{kind: recConfig, a: p, b: old.CPU, c: old.NIC})
+	}
+	m.Procs[p].Config = cfg
+}
+
+// ClearDownloads forgets every server selection while keeping the
+// placement: all download tables become empty (entries journaled so
+// Rollback restores them). The refinement layer clears selections before
+// mutating a placement and re-runs server selection afterwards.
+func (m *Mapping) ClearDownloads() {
+	for p := range m.DL {
+		d := m.DL[p]
+		if d == nil {
+			continue
+		}
+		if m.jon {
+			for k, v := range d {
+				m.journal = append(m.journal, record{kind: recDLSet, a: p, b: k, c: v})
+			}
+		}
+		clear(d)
+	}
+}
+
+// CopyFrom rebuilds m as a deep copy of src — placement, processors,
+// download tables — reusing m's recycled storage like Reset does. Like
+// Reset it discards m's journal (the copy is a new baseline); the
+// journal on/off switch is preserved. The refinement layer uses this to
+// install its best-found snapshot into the working arena.
+func (m *Mapping) CopyFrom(src *Mapping) {
+	if m == src {
+		return
+	}
+	jon := m.jon
+	m.Reset(src.Inst)
+	m.jon = false // rebuild silently; the copy is the new journal baseline
+	for p := range src.Procs {
+		m.Buy(src.Procs[p].Config)
+	}
+	for op, p := range src.Assign {
+		if p != Unassigned {
+			m.attach(op, p)
+		}
+	}
+	for p := range src.Procs {
+		if !src.Procs[p].Alive {
+			m.Procs[p].Alive = false
+		}
+		if d := src.DL[p]; len(d) > 0 {
+			nd := m.newDL(len(d))
+			for k, v := range d {
+				nd[k] = v
+			}
+			m.DL[p] = nd
+		}
+	}
+	m.jon = jon
+}

@@ -41,6 +41,13 @@ type Mapping struct {
 	scr     *scratch      // lazily-allocated reusable buffers, never shared via Clone
 	dlFree  []map[int]int // cleared download tables recycled across Reset cycles
 	opsFree [][]int       // emptied opsOn lists recycled across Reset cycles
+
+	// Optional transactional move journal (journal.go): while jon is set,
+	// every mutation appends its inverse record so Checkpoint/Rollback
+	// undo tentative move sequences without cloning. Never shared via
+	// Clone; cleared by Reset.
+	journal []record
+	jon     bool
 }
 
 // scratch holds the reusable buffers behind the hot constraint checks.
@@ -73,14 +80,38 @@ func (m *Mapping) scratchFor() *scratch {
 	return s
 }
 
-// New returns an empty mapping for the instance.
+// New returns an empty mapping for the instance with the per-processor
+// storage presized from the instance dimensions: a constructive solve
+// buys at most about one processor per operator (sold slots included), so
+// reserving NumOps slots up front — and prefilling the operator-list
+// freelist with small lists carved from one backing array — means the
+// first solve on a fresh Mapping grows nothing, closing most of the gap
+// to an arena Reset.
 func New(in *instance.Instance) *Mapping {
-	m := &Mapping{Inst: in, Assign: make([]int, in.Tree.NumOps())}
+	n := in.Tree.NumOps()
+	m := &Mapping{Inst: in, Assign: make([]int, n)}
 	for i := range m.Assign {
 		m.Assign[i] = Unassigned
 	}
+	m.Procs = make([]Proc, 0, n)
+	m.DL = make([]map[int]int, 0, n)
+	m.opsOn = make([][]int, 0, n)
+	m.objRef = make([]int32, 0, n*in.NumTypes)
+	// Full slice expressions cap each carved list at opsListCap, so a list
+	// outgrowing it reallocates instead of clobbering its neighbour.
+	backing := make([]int, n*opsListCap)
+	m.opsFree = make([][]int, 0, n)
+	for i := 0; i < n; i++ {
+		m.opsFree = append(m.opsFree, backing[i*opsListCap:i*opsListCap:(i+1)*opsListCap])
+	}
 	return m
 }
+
+// opsListCap is the initial capacity of the per-processor operator lists
+// New prefills its freelist with; most processors host only a few
+// operators, so this kills the append-growth allocations of the first
+// solve without oversizing the arena.
+const opsListCap = 4
 
 // Reset rebinds m to in as an empty mapping, recycling every piece of
 // storage a previous construction left behind: the processor and
@@ -115,6 +146,7 @@ func (m *Mapping) Reset(in *instance.Instance) {
 	m.DL = m.DL[:0]
 	m.opsOn = m.opsOn[:0]
 	m.objRef = m.objRef[:0]
+	m.journal = m.journal[:0]
 }
 
 // newDL returns an empty download table with room for n entries,
@@ -168,7 +200,11 @@ func (m *Mapping) Buy(cfg platform.Config) int {
 	for k := 0; k < m.Inst.NumTypes; k++ {
 		m.objRef = append(m.objRef, 0)
 	}
-	return len(m.Procs) - 1
+	p := len(m.Procs) - 1
+	if m.jon {
+		m.journal = append(m.journal, record{kind: recBuy, a: p})
+	}
+	return p
 }
 
 // Sell returns a processor; it must be empty.
@@ -177,6 +213,13 @@ func (m *Mapping) Sell(p int) {
 		panic(fmt.Sprintf("mapping: selling processor %d with %d operators", p, n))
 	}
 	m.Procs[p].Alive = false
+	if m.jon {
+		// Keep the download table intact so Rollback resurrects p exactly;
+		// dead processors are invisible to every query and Reset recycles
+		// the table as usual.
+		m.journal = append(m.journal, record{kind: recSell, a: p})
+		return
+	}
 	if d := m.DL[p]; d != nil {
 		clear(d)
 		m.dlFree = append(m.dlFree, d)
@@ -186,6 +229,9 @@ func (m *Mapping) Sell(p int) {
 
 // attach adds op (currently unassigned) to processor p's adjacency state.
 func (m *Mapping) attach(op, p int) {
+	if m.jon {
+		m.journal = append(m.journal, record{kind: recAttach, a: op})
+	}
 	m.Assign[op] = p
 	lst := m.opsOn[p]
 	i := len(lst)
@@ -206,6 +252,9 @@ func (m *Mapping) attach(op, p int) {
 // detach removes op from its processor's adjacency state.
 func (m *Mapping) detach(op int) {
 	p := m.Assign[op]
+	if m.jon {
+		m.journal = append(m.journal, record{kind: recDetach, a: op, b: p})
+	}
 	m.Assign[op] = Unassigned
 	lst := m.opsOn[p]
 	i := sort.SearchInts(lst, op)
@@ -572,6 +621,14 @@ func (m *Mapping) TryPlace(p int, ops ...int) bool {
 	s.procSeen = xslice.Grow(s.procSeen, len(m.Procs))
 	s.prev = xslice.Grow(s.prev, len(ops))
 	prev := s.prev
+	var mark Mark
+	if m.jon {
+		// With the journal on, a failed probe rolls back through it — and
+		// is truncated away — instead of replaying the prev buffer. The
+		// restored state is identical: both paths re-run the same integer
+		// attach/detach bookkeeping in opposite orders.
+		mark = m.Checkpoint()
+	}
 	for i, op := range ops {
 		prev[i] = m.Assign[op]
 		m.Place(op, p)
@@ -605,6 +662,10 @@ func (m *Mapping) TryPlace(p int, ops ...int) bool {
 	}
 	s.affected = affected[:0]
 	if !ok {
+		if m.jon {
+			m.Rollback(mark)
+			return false
+		}
 		// Undo through Place/Unplace so the adjacency state rolls back
 		// with the assignments (integer bookkeeping round-trips exactly).
 		for i, op := range ops {
@@ -641,6 +702,16 @@ func (m *Mapping) MoveAll(from, to int) bool {
 func (m *Mapping) SelectServer(p, k, l int) {
 	if m.DL[p] == nil {
 		m.DL[p] = m.newDL(1)
+		if m.jon {
+			m.journal = append(m.journal, record{kind: recDLNew, a: p})
+		}
+	}
+	if m.jon {
+		if prev, ok := m.DL[p][k]; ok {
+			m.journal = append(m.journal, record{kind: recDLSet, a: p, b: k, c: prev})
+		} else {
+			m.journal = append(m.journal, record{kind: recDLInsert, a: p, b: k})
+		}
 	}
 	m.DL[p][k] = l
 }
@@ -651,6 +722,9 @@ func (m *Mapping) SelectServer(p, k, l int) {
 func (m *Mapping) PresizeDL(p, n int) {
 	if m.DL[p] == nil && n > 0 {
 		m.DL[p] = m.newDL(n)
+		if m.jon {
+			m.journal = append(m.journal, record{kind: recDLNew, a: p})
+		}
 	}
 }
 

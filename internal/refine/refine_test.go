@@ -1,0 +1,165 @@
+package refine
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/bounds"
+	"repro/internal/heuristics"
+	"repro/internal/instance"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+)
+
+// bestConstructive runs the paper's six heuristics standalone and returns
+// the cheapest feasible cost (Inf when all fail).
+func bestConstructive(t *testing.T, in *instance.Instance, seed int64) float64 {
+	t.Helper()
+	best := math.Inf(1)
+	for _, h := range heuristics.All() {
+		res, err := heuristics.Solve(in, h, heuristics.Options{Seed: seed})
+		if err != nil {
+			if errors.Is(err, heuristics.ErrInfeasible) {
+				continue
+			}
+			t.Fatalf("%s: %v", h.Name(), err)
+		}
+		if res.Cost < best {
+			best = res.Cost
+		}
+	}
+	return best
+}
+
+// TestRefinedNeverWorseThanConstructive is the package's contract: on
+// every instance where some constructive heuristic succeeds, Refine
+// succeeds too and never costs more.
+func TestRefinedNeverWorseThanConstructive(t *testing.T) {
+	slow := platform.DefaultPlatform()
+	slow.Catalog = platform.Homogeneous(0, 4)
+	plats := map[string]*platform.Platform{
+		"default": nil,
+		"slowCPU": slow,
+	}
+	for pname, plat := range plats {
+		for _, n := range []int{6, 12, 24, 48} {
+			for seed := int64(1); seed <= 3; seed++ {
+				in := instance.Generate(instance.Config{NumOps: n, Alpha: 1.6, Platform: plat}, seed)
+				best := bestConstructive(t, in, seed)
+				res, err := Refine(in, Options{Seed: seed})
+				if err != nil {
+					if errors.Is(err, heuristics.ErrInfeasible) && math.IsInf(best, 1) {
+						continue
+					}
+					t.Fatalf("%s N=%d seed=%d: refine failed (best constructive %.3f): %v",
+						pname, n, seed, best, err)
+				}
+				if err := res.Mapping.Validate(); err != nil {
+					t.Fatalf("%s N=%d seed=%d: refined mapping invalid: %v", pname, n, seed, err)
+				}
+				if res.Cost > best+mapping.Eps {
+					t.Errorf("%s N=%d seed=%d: refined cost %.6f exceeds best constructive %.6f",
+						pname, n, seed, res.Cost, best)
+				}
+				if lb := bounds.CostLowerBound(in); res.Cost < lb-mapping.Eps {
+					t.Errorf("%s N=%d seed=%d: refined cost %.6f below lower bound %.6f",
+						pname, n, seed, res.Cost, lb)
+				}
+			}
+		}
+	}
+}
+
+// TestRefineImprovesSomewhere guards against the refinement silently
+// degenerating into "return the seed": across a small sweep on the
+// heterogeneous default catalog (where constructive over-buys leave
+// room) it must beat the best constructive strictly at least once.
+func TestRefineImprovesSomewhere(t *testing.T) {
+	improved := 0
+	cells := []struct {
+		n     int
+		alpha float64
+	}{{20, 2.0}, {80, 1.6}}
+	for _, c := range cells {
+		for seed := int64(1); seed <= 4; seed++ {
+			in := instance.Generate(instance.Config{NumOps: c.n, Alpha: c.alpha}, seed)
+			best := bestConstructive(t, in, seed)
+			res, err := Refine(in, Options{Seed: seed})
+			if err != nil {
+				continue
+			}
+			if res.Cost < best-mapping.Eps {
+				improved++
+			}
+		}
+	}
+	if improved == 0 {
+		t.Fatal("refinement never improved on the best constructive heuristic across the sweep")
+	}
+}
+
+// TestRefineDeterministic: same seed, same result — byte-identical
+// assignment, cost and processor count on repeated runs.
+func TestRefineDeterministic(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 30, Alpha: 1.6}, 7)
+	first, err := Refine(in, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		again, err := Refine(in, Options{Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Cost != first.Cost || again.Procs != first.Procs {
+			t.Fatalf("run %d: got cost=%v procs=%d, want cost=%v procs=%d",
+				run, again.Cost, again.Procs, first.Cost, first.Procs)
+		}
+		for op, p := range first.Mapping.Assign {
+			if again.Mapping.Assign[op] != p {
+				t.Fatalf("run %d: operator %d on processor %d, want %d",
+					run, op, again.Mapping.Assign[op], p)
+			}
+		}
+	}
+}
+
+// TestRefineLeavesJournalOff: the returned mapping must not keep the
+// internal refinement journal enabled (callers did not opt in).
+func TestRefineLeavesJournalOff(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 16, Alpha: 1.6}, 3)
+	res, err := Refine(in, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapping.Journaling() {
+		t.Fatal("returned mapping still has the journal enabled")
+	}
+	if err := res.Mapping.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefinedByName: the heuristic is sweepable by its registered name.
+func TestRefinedByName(t *testing.T) {
+	h, err := heuristics.ByName("Refined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name() != "Refined" {
+		t.Fatalf("got %q", h.Name())
+	}
+	in := instance.Generate(instance.Config{NumOps: 12, Alpha: 1.6}, 5)
+	res, err := heuristics.Solve(in, h, heuristics.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Refine(in, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != want.Cost {
+		t.Fatalf("ByName cost %v != Refine cost %v", res.Cost, want.Cost)
+	}
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env sh
+# refine_smoke.sh — end-to-end smoke test for the refinement layer.
+#
+# Runs the "refine" figure (constructive heuristics vs Refined vs Exact
+# on CONSTR-HOM slow-CPU instances) small through the real CLI and
+# requires:
+#   1. the .dat output to match the committed golden byte for byte
+#      (the sweep is a pure function of its seeds, on every machine);
+#   2. a 2-shard merged run to be byte-identical to the unsharded run;
+#   3. the per-instance dominance gate to pass: Refined costs no more
+#      than the cheapest feasible constructive heuristic on EVERY
+#      (x, seed) cell — the plotted means cannot witness this, so the
+#      gate re-checks raw cells via `experiments -refine-gate`.
+# Run via `make refine-smoke`. Refresh the golden after an intentional
+# figure change with:
+#   go run ./cmd/experiments -seeds 2 -only refine -out /tmp/rs >/dev/null \
+#     && cp /tmp/rs/refine.dat scripts/testdata/refine_smoke.dat
+set -eu
+
+GO=${GO:-go}
+DIR=${REFINE_SMOKE_DIR:-.refine-smoke}
+GOLDEN=scripts/testdata/refine_smoke.dat
+
+fail() {
+    echo "refine-smoke: FAIL: $*" >&2
+    exit 1
+}
+
+cleanup() {
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+"$GO" run ./cmd/experiments -seeds 2 -only refine -workers 2 -out "$DIR/full" >/dev/null \
+    || fail "unsharded refine figure run failed"
+cmp "$DIR/full/refine.dat" "$GOLDEN" \
+    || fail "refine.dat differs from the committed golden $GOLDEN"
+
+"$GO" run ./cmd/experiments -seeds 2 -only refine -workers 2 -shard 0/2 -out "$DIR/shards" >/dev/null \
+    || fail "shard 0/2 failed"
+"$GO" run ./cmd/experiments -seeds 2 -only refine -workers 1 -shard 1/2 -out "$DIR/shards" >/dev/null \
+    || fail "shard 1/2 failed"
+"$GO" run ./cmd/experiments -seeds 2 -only refine -merge 2 -out "$DIR/shards" >/dev/null \
+    || fail "shard merge failed"
+cmp "$DIR/full/refine.dat" "$DIR/shards/refine.dat" \
+    || fail "sharded merge differs from the unsharded run"
+
+"$GO" run ./cmd/experiments -refine-gate -seeds 2 \
+    || fail "per-cell dominance gate failed (Refined cost exceeded a constructive heuristic)"
+
+echo "refine-smoke: golden match, sharded merge identical, dominance gate passed"

@@ -9,6 +9,7 @@ import (
 	"repro/internal/instance"
 	"repro/internal/mapping"
 	"repro/internal/platform"
+	"repro/internal/refine"
 	"repro/internal/stream"
 )
 
@@ -62,6 +63,19 @@ func HomogeneousPlatform(cpu, nic int) *Platform {
 	p := platform.DefaultPlatform()
 	p.Catalog = platform.Homogeneous(cpu, nic)
 	return p
+}
+
+// RefineOptions tunes Refine; the zero value uses the defaults.
+type RefineOptions = refine.Options
+
+// Refine runs the local-search refinement layer: the best constructive
+// heuristic seeds a simulated-annealing plus large-neighborhood search
+// over the mapping move journal. The result is never worse than the best
+// constructive solution and the search stops early when the seed already
+// matches the analytic cost lower bound. The heuristic also runs by name
+// ("Refined") through Solve and the sweep Grid.
+func Refine(in *Instance, opts RefineOptions) (*Result, error) {
+	return refine.Refine(in, opts)
 }
 
 // Heuristics lists the six placement heuristic names in the paper's order.

@@ -69,3 +69,35 @@ func TestHomogeneousPlatform(t *testing.T) {
 		t.Fatal("no processors purchased")
 	}
 }
+
+func TestPublicRefine(t *testing.T) {
+	in := streamalloc.Generate(streamalloc.InstanceConfig{NumOps: 24, Alpha: 1.6}, 9)
+	res, err := streamalloc.Refine(in, streamalloc.RefineOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := streamalloc.Validate(res.Mapping); err != nil {
+		t.Fatal(err)
+	}
+	// The refined cost never exceeds any constructive heuristic's.
+	for _, name := range streamalloc.Heuristics() {
+		hres, err := streamalloc.Solve(in, name)
+		if err != nil {
+			if streamalloc.IsInfeasible(err) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		if res.Cost > hres.Cost+1e-9 {
+			t.Fatalf("refined cost %v exceeds %s cost %v", res.Cost, name, hres.Cost)
+		}
+	}
+	// The refinement layer is also addressable by name.
+	byName, err := streamalloc.Solve(in, "Refined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName.Cost != res.Cost {
+		t.Fatalf("Solve(\"Refined\") cost %v != Refine cost %v", byName.Cost, res.Cost)
+	}
+}
