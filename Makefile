@@ -1,6 +1,6 @@
 # CI and humans invoke identical commands: .github/workflows/ci.yml runs
 # `make lint build test race bench sweep-smoke serve-smoke coord-smoke
-# refine-smoke docs-check` in the main job, `make staticcheck vuln` for the deeper
+# refine-smoke churn-smoke docs-check` in the main job, `make staticcheck vuln` for the deeper
 # static and vulnerability scans, and `make bench-json bench-compare`
 # in the bench-compare job — and nothing else.
 
@@ -9,7 +9,7 @@ GO ?= go
 # Steadier perf numbers: every bench entry runs 3x its base iterations.
 BENCH_ITERS_SCALE ?= 3
 
-.PHONY: build test race bench bench-json bench-compare bench-baseline fmt lint staticcheck vuln ci sweep-smoke serve-smoke coord-smoke refine-smoke docs-check
+.PHONY: build test race bench bench-json bench-compare bench-baseline fmt lint staticcheck vuln ci sweep-smoke serve-smoke coord-smoke refine-smoke churn-smoke docs-check
 
 build:
 	$(GO) build ./...
@@ -84,6 +84,16 @@ REFINE_SMOKE_DIR ?= .refine-smoke
 refine-smoke:
 	REFINE_SMOKE_DIR=$(REFINE_SMOKE_DIR) GO=$(GO) sh scripts/refine_smoke.sh
 
+# Churn-subsystem smoke test: run the churn figure (journaled local
+# repair vs from-scratch re-solve over dynamic scenarios) small through
+# the real CLI, diff its .dat against the committed golden, require a
+# 2-shard merge to be byte-identical, and enforce the dominance gate
+# (repair cost within tolerance of re-solve on every scenario, strictly
+# fewer operators migrated over the grid).
+CHURN_SMOKE_DIR ?= .churn-smoke
+churn-smoke:
+	CHURN_SMOKE_DIR=$(CHURN_SMOKE_DIR) GO=$(GO) sh scripts/churn_smoke.sh
+
 # Documentation gate: every non-main package must carry a "// Package
 # <name> ..." godoc comment, and every local link in README.md and
 # docs/*.md must point at an existing file. Links resolve relative to
@@ -125,4 +135,4 @@ staticcheck:
 vuln:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@latest ./...
 
-ci: lint build test race bench sweep-smoke serve-smoke coord-smoke refine-smoke docs-check
+ci: lint build test race bench sweep-smoke serve-smoke coord-smoke refine-smoke churn-smoke docs-check

@@ -1,0 +1,68 @@
+package streamalloc
+
+import (
+	"context"
+
+	"repro/internal/churn"
+)
+
+// Re-exported dynamic-workload types.
+type (
+	// Scenario is a deterministic seeded event stream over a shared
+	// workload: applications arriving and departing, operator rates
+	// drifting.
+	Scenario = churn.Scenario
+	// ScenarioConfig parameterizes NewScenario.
+	ScenarioConfig = churn.ScenarioConfig
+	// Event is one dynamic change in a Scenario.
+	Event = churn.Event
+	// RepairOptions tunes how a scenario's events are answered: the
+	// policy (journaled local repair vs. from-scratch re-solve), the
+	// seed, and the per-event refinement budgets.
+	RepairOptions = churn.Options
+	// ChurnEngine holds a live incumbent allocation and answers events
+	// one at a time — the streaming counterpart of RunScenario.
+	ChurnEngine = churn.Engine
+	// ScenarioResult aggregates one scenario run.
+	ScenarioResult = churn.Result
+	// EventResult describes the engine's answer to one event.
+	EventResult = churn.EventResult
+)
+
+// Churn policies and event kinds.
+const (
+	// PolicyRepair answers events by journaled local repair with a
+	// re-solve fallback.
+	PolicyRepair = churn.PolicyRepair
+	// PolicyResolve answers every event with a from-scratch solve.
+	PolicyResolve = churn.PolicyResolve
+
+	// Arrive adds an application, Depart removes one, Drift rescales
+	// one application's throughput target.
+	Arrive = churn.Arrive
+	Depart = churn.Depart
+	Drift  = churn.Drift
+)
+
+// NewScenario generates a deterministic dynamic scenario: the same
+// (cfg, seed) yields the identical workload, initial applications and
+// event stream on every machine.
+func NewScenario(cfg ScenarioConfig, seed int64) *Scenario {
+	return churn.NewScenario(cfg, seed)
+}
+
+// RunScenario answers the scenario's whole event stream under opts and
+// returns the per-event trace plus aggregates. The incumbent mapping is
+// never invalid: every installed answer is validated, and a rejected
+// event (infeasible post-event workload) leaves the pre-event incumbent
+// untouched. Cancelling the context aborts the run mid-stream with the
+// partial result.
+func RunScenario(ctx context.Context, sc *Scenario, opts RepairOptions) (*ScenarioResult, error) {
+	return churn.RunScenario(ctx, sc, opts)
+}
+
+// NewChurnEngine returns a reusable engine for answering events one at
+// a time (serve-daemon style): Start a scenario, then Step each event.
+func NewChurnEngine(opts RepairOptions) *ChurnEngine {
+	return churn.NewEngine(opts)
+}

@@ -44,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/churn"
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/experiments"
@@ -408,7 +409,59 @@ func run(seeds, itersScale int) (*Report, error) {
 		}))
 	}
 
+	// Churn: a pinned dynamic scenario (arrivals, departures, rate
+	// drift) answered by journaled local repair, and the same scenario
+	// re-solved from scratch per event for comparison. Engine arenas
+	// are reused across Run calls, so the steady-state event-answering
+	// path alloc-gates; N counts the operators live at t=0.
+	for _, c := range []struct {
+		apps, ops, iters int
+		seed             int64
+		policy           churn.Policy
+	}{
+		{3, 20, 5, 3, churn.PolicyRepair},
+		{4, 35, 3, 1, churn.PolicyRepair},
+		{4, 35, 3, 1, churn.PolicyResolve},
+	} {
+		sc, e := churnScenario(c.apps, c.ops, c.seed, c.policy)
+		name := fmt.Sprintf("churn/%s/N=%d", c.policy, c.apps*c.ops)
+		// The engine's arenas (builder pool, solve contexts, refiner
+		// buffers) take a few full scenario replays to reach their
+		// high-water marks; warm past them so allocs/op is the true
+		// steady state regardless of the iteration count.
+		for i := 0; i < 3; i++ {
+			if _, err := e.Run(context.Background(), sc); err != nil {
+				panic(fmt.Sprintf("%s: %v", name, err))
+			}
+		}
+		add(measure(name, c.iters*itersScale, true, func() {
+			if _, err := e.Run(context.Background(), sc); err != nil {
+				panic(fmt.Sprintf("%s: %v", name, err))
+			}
+		}))
+	}
+
 	return rep, nil
+}
+
+// churnScenario is the pinned churn benchmark workload: apps
+// equal-sized applications on the slow-CPU CONSTR-HOM platform of the
+// churn figure, six drift-heavy events, plus the engine that answers
+// them. Seeds are chosen so the incumbent spans several processors and
+// events genuinely migrate operators (not one-processor no-ops).
+func churnScenario(apps, ops int, seed int64, policy churn.Policy) (*churn.Scenario, *churn.Engine) {
+	p := platform.DefaultPlatform()
+	p.Catalog = platform.Homogeneous(0, 4)
+	cfg := churn.ScenarioConfig{
+		InitialApps: apps, Events: 6,
+		MinOps: ops, MaxOps: ops,
+		Rho: 1, RhoMax: 8,
+		Drift: churn.DriftUp, DriftMax: 1.6,
+	}
+	cfg.Base.Platform = p
+	cfg.Base.Alpha = 1.5
+	sc := churn.NewScenario(cfg, seed)
+	return sc, churn.NewEngine(churn.Options{Policy: policy, Seed: seed})
 }
 
 // multiTenantGrid is the pinned multi-tenant benchmark workload: two

@@ -8,9 +8,10 @@
 //	experiments -shard i/n [-only ID] ...   # compute one shard's cells
 //	experiments -merge n   [-only ID] ...   # merge n shards into .dat
 //	experiments -refine-gate [-seeds N]     # per-cell Refined-dominance check
+//	experiments -churn-gate  [-seeds N]     # repair-vs-resolve dominance check
 //
-// IDs: fig2a fig2b fig3 fig3n20 large freq refine optimal table1 v1
-// abl-downgrade abl-selection ilpwall (default: all).
+// IDs: fig2a fig2b fig3 fig3n20 large freq refine churn optimal table1
+// v1 abl-downgrade abl-selection ilpwall (default: all).
 //
 // Sharded figure runs scale a sweep across machines: every shard writes
 // <out>/<id>.cells.<i>-of-<n>, and -merge reassembles them into .dat
@@ -40,6 +41,7 @@ func main() {
 	mergeFlag := flag.Int("merge", 0, "merge n shards' cell files from -out into figures")
 	verify := flag.Bool("verify", false, "execute every feasible figure cell on the stream engine and report the verdict")
 	refineGate := flag.Bool("refine-gate", false, "run only the refine figure's per-cell dominance gate (Refined <= best constructive on every instance) and exit")
+	churnGate := flag.Bool("churn-gate", false, "run only the churn figure's dominance gate (repair cost within tolerance of re-solve on every scenario, strictly fewer operators moved) and exit")
 	flag.Parse()
 
 	cfg := experiments.Config{Seeds: *seeds, BaseSeed: 1, Workers: *workers, Verify: *verify}
@@ -55,6 +57,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("refine gate: Refined <= best constructive on all %d instances\n", checked)
+		return
+	}
+	if *churnGate {
+		if *shardFlag != "" || *mergeFlag > 0 {
+			fatal(fmt.Errorf("-churn-gate runs unsharded"))
+		}
+		checked, err := experiments.ChurnGate(context.Background(), cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("churn gate: repair dominates full re-solve on all %d scenarios (cost within tolerance, strictly fewer operators moved)\n", checked)
 		return
 	}
 	if *shardFlag != "" && *mergeFlag > 0 {

@@ -292,7 +292,7 @@ func figDefs() []figDef {
 			}),
 		},
 	}
-	defs = append(defs, refineDef(), ablationDowngradeDef(), ablationSelectionDef())
+	defs = append(defs, refineDef(), churnDef(), ablationDowngradeDef(), ablationSelectionDef())
 	return defs
 }
 
@@ -398,14 +398,16 @@ func BuildFigure(ctx context.Context, id string, cfg Config) (*Figure, error) {
 	}
 	for _, u := range def.units {
 		g := u.grid(cfg)
-		if verify != nil {
+		// Eval-driven grids (churn) have no per-cell mapping to execute
+		// on the stream engine; the verification column skips them.
+		if verify != nil && g.Eval == nil {
 			g.Verify = &stream.Options{Results: 80}
 		}
 		cells, err := g.Cells(ctx)
 		if err != nil {
 			return nil, err
 		}
-		if verify != nil {
+		if verify != nil && g.Eval == nil {
 			for i := range cells {
 				if cells[i].Err == nil {
 					verify.add(&cells[i])

@@ -219,6 +219,18 @@ type Grid struct {
 	// the solve (separate rng streams), so Cost/Procs are unchanged.
 	Verify *stream.Options
 
+	// Eval, when non-nil, replaces the per-cell solve entirely: the
+	// sweep engine fills the cell's coordinates (Index, HIdx/XIdx/Rep,
+	// Heuristic, X, Seed) and hands it to Eval, which computes the
+	// payload columns (Cost, Procs, Err, ...) however it likes — the
+	// churn figure runs whole dynamic scenarios per cell this way. With
+	// Eval set, the Heuristics entries are series labels rather than
+	// registry names, and Make/Opts/Verify are ignored. Eval runs on a
+	// pool worker and must be a pure function of the cell coordinates
+	// plus the reusable environment, so sharded output stays
+	// byte-identical to an unsharded run.
+	Eval func(ctx context.Context, env *WorkerEnv, c *Cell)
+
 	// SeedOf derives the seed of repetition rep of column index xi.
 	// Seeds are shared across heuristics so every series solves the same
 	// instances (the paper's paired-comparison methodology) and depend
@@ -258,9 +270,11 @@ func (g *Grid) Validate() error {
 	if len(g.Heuristics) == 0 {
 		return fmt.Errorf("sweep: Grid.Heuristics is empty")
 	}
-	for _, name := range g.Heuristics {
-		if _, err := heuristics.ByName(name); err != nil {
-			return fmt.Errorf("sweep: %w", err)
+	if g.Eval == nil {
+		for _, name := range g.Heuristics {
+			if _, err := heuristics.ByName(name); err != nil {
+				return fmt.Errorf("sweep: %w", err)
+			}
 		}
 	}
 	if len(g.Xs) == 0 {
@@ -269,7 +283,7 @@ func (g *Grid) Validate() error {
 	if g.Seeds <= 0 {
 		return fmt.Errorf("sweep: Grid.Seeds must be positive, got %d", g.Seeds)
 	}
-	if g.Make == nil {
+	if g.Make == nil && g.Eval == nil {
 		return fmt.Errorf("sweep: Grid.Make is nil")
 	}
 	return g.Shard.validate()
@@ -279,6 +293,9 @@ func (g *Grid) Validate() error {
 func (g *Grid) resolve() ([]heuristics.Heuristic, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
+	}
+	if g.Eval != nil {
+		return nil, nil // labels only; no registry lookup
 	}
 	hs := make([]heuristics.Heuristic, len(g.Heuristics))
 	for i, name := range g.Heuristics {
@@ -316,7 +333,11 @@ func (g *Grid) Run(ctx context.Context, emit func(Cell)) error {
 	defer releaseWorkerEnvs(envs)
 	out := make([]Cell, len(idxs))
 	return par.ForEachOrdered(ctx, g.Workers, len(idxs), func(w, i int) {
-		out[i] = g.runCell(envs[w], hs[idxs[i]/(len(g.Xs)*g.Seeds)], idxs[i])
+		if g.Eval != nil {
+			out[i] = g.runEvalCell(ctx, envs[w], idxs[i])
+		} else {
+			out[i] = g.runCell(envs[w], hs[idxs[i]/(len(g.Xs)*g.Seeds)], idxs[i])
+		}
 	}, func(i int) {
 		if emit != nil {
 			emit(out[i])
@@ -329,6 +350,24 @@ func (g *Grid) Cells(ctx context.Context) ([]Cell, error) {
 	out := make([]Cell, 0, len(g.shardIndices()))
 	err := g.Run(ctx, func(c Cell) { out = append(out, c) })
 	return out, err
+}
+
+// runEvalCell computes one cell of an Eval-driven grid: coordinates are
+// filled by the engine, the payload by the grid's callback.
+func (g *Grid) runEvalCell(ctx context.Context, env *WorkerEnv, idx int) Cell {
+	nx, ns := len(g.Xs), g.Seeds
+	c := Cell{
+		Index: idx,
+		HIdx:  idx / (nx * ns),
+		XIdx:  (idx / ns) % nx,
+		Rep:   idx % ns,
+	}
+	c.Heuristic = g.Heuristics[c.HIdx]
+	c.X = g.Xs[c.XIdx]
+	c.Seed = g.CellSeed(c.XIdx, c.Rep)
+	env.ntrees = 0
+	g.Eval(ctx, env, &c)
+	return c
 }
 
 // runCell solves one cell on the worker's environment.

@@ -1,0 +1,90 @@
+package refine
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/instance"
+	"repro/internal/mapping"
+)
+
+// TestBudgetTinyStillValid: a deadline too small to run a single
+// annealing step must still return a valid result that is never worse
+// than the best constructive seed — the anytime contract the churn
+// repair path and the serve daemon rely on.
+func TestBudgetTinyStillValid(t *testing.T) {
+	for _, n := range []int{12, 30} {
+		for seed := int64(1); seed <= 3; seed++ {
+			in := instance.Generate(instance.Config{NumOps: n, Alpha: 1.6}, seed)
+			best := bestConstructive(t, in, seed)
+			if math.IsInf(best, 1) {
+				continue
+			}
+			res, err := Refine(in, Options{Seed: seed, Budget: time.Nanosecond})
+			if err != nil {
+				t.Fatalf("N=%d seed=%d: %v", n, seed, err)
+			}
+			if err := res.Mapping.Validate(); err != nil {
+				t.Fatalf("N=%d seed=%d: budgeted result invalid: %v", n, seed, err)
+			}
+			if res.Cost > best+mapping.Eps {
+				t.Fatalf("N=%d seed=%d: budgeted cost %v worse than constructive seed %v",
+					n, seed, res.Cost, best)
+			}
+		}
+	}
+}
+
+// TestBudgetUnlimitedMatchesNoBudget: a deadline far in the future must
+// not change the trajectory — the budget only ever truncates.
+func TestBudgetUnlimitedMatchesNoBudget(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 24, Alpha: 1.6}, 9)
+	free, err := Refine(in, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := Refine(in, Options{Seed: 9, Budget: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Cost != far.Cost || free.Procs != far.Procs {
+		t.Fatalf("hour-long budget changed the result: cost %v vs %v", far.Cost, free.Cost)
+	}
+}
+
+// TestImproveInPlace: the in-place entry point refines a complete
+// mapping without ever making it worse, and a cancelled context aborts
+// with the incumbent (not garbage) installed.
+func TestImproveInPlace(t *testing.T) {
+	in := instance.Generate(instance.Config{NumOps: 30, Alpha: 1.6}, 4)
+	res, err := Refine(in, Options{Seed: 4, SAIters: 1, LNSRounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Mapping
+	seedCost := m.Cost()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Improve(ctx, m, nil, Options{Seed: 4}); err != context.Canceled {
+		t.Fatalf("cancelled Improve: got %v, want context.Canceled", err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("mapping invalid after cancelled Improve: %v", err)
+	}
+	if m.Cost() > seedCost+mapping.Eps {
+		t.Fatalf("cancelled Improve made the mapping worse: %v > %v", m.Cost(), seedCost)
+	}
+
+	if err := Improve(context.Background(), m, nil, Options{Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("mapping invalid after Improve: %v", err)
+	}
+	if m.Cost() > seedCost+mapping.Eps {
+		t.Fatalf("Improve made the mapping worse: %v > %v", m.Cost(), seedCost)
+	}
+}

@@ -1,11 +1,13 @@
 package refine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"slices"
 	"sync"
+	"time"
 
 	"repro/internal/bounds"
 	"repro/internal/heuristics"
@@ -27,6 +29,14 @@ type Options struct {
 	// LNSRounds bounds the large-neighborhood destroy/repair rounds run
 	// after annealing; 0 means 8.
 	LNSRounds int
+	// Budget bounds the wall clock of the refinement loops (anytime
+	// behaviour: at the deadline the best incumbent found so far is
+	// returned, never worse than the constructive seed). The search
+	// trajectory is a pure function of the seed and the number of steps
+	// executed — the budget only decides how many steps that is — so two
+	// runs that execute the same step count return identical results.
+	// 0 means no deadline.
+	Budget time.Duration
 }
 
 // Refine runs the full solve pipeline with the Refined heuristic:
@@ -37,7 +47,7 @@ type Options struct {
 // stops early when the seed already matches the analytic lower bound.
 func Refine(in *instance.Instance, opts Options) (*heuristics.Result, error) {
 	return heuristics.Solve(in,
-		Refined{SAIters: opts.SAIters, LNSRounds: opts.LNSRounds},
+		Refined{SAIters: opts.SAIters, LNSRounds: opts.LNSRounds, Budget: opts.Budget},
 		heuristics.Options{Seed: opts.Seed})
 }
 
@@ -45,8 +55,9 @@ func Refine(in *instance.Instance, opts Options) (*heuristics.Result, error) {
 // Grid and CLIs can run it by name next to the paper's six. It is
 // registered with heuristics.ByName as "Refined" (zero-value options).
 type Refined struct {
-	SAIters   int // see Options.SAIters
-	LNSRounds int // see Options.LNSRounds
+	SAIters   int           // see Options.SAIters
+	LNSRounds int           // see Options.LNSRounds
+	Budget    time.Duration // see Options.Budget
 }
 
 func init() { heuristics.Register(Refined{}) }
@@ -82,6 +93,15 @@ func (h Refined) Place(pc *heuristics.PlaceContext, m *mapping.Mapping, r *rand.
 	in := m.Inst
 	sc := scratchPool.Get().(*refScratch)
 	defer scratchPool.Put(sc)
+
+	// The budget clock starts before seeding so the whole call is
+	// bounded; a tiny budget still finishes the constructive seed (the
+	// validity and never-worse guarantees need one) and only cuts the
+	// refinement loops short.
+	var deadline time.Time
+	if h.Budget > 0 {
+		deadline = time.Now().Add(h.Budget)
+	}
 
 	cands := heuristics.All()
 	// Per-candidate placement streams, drawn up front in plot order so
@@ -150,28 +170,139 @@ func (h Refined) Place(pc *heuristics.PlaceContext, m *mapping.Mapping, r *rand.
 	}
 
 	m.SetJournal(true)
-	rf := refiner{m: m, in: in, r: r, sc: sc, lb: lb,
+	rf := refiner{m: m, in: in, r: r, sc: sc, lb: lb, deadline: deadline,
 		cat: in.Platform.Catalog, most: in.Platform.Catalog.MostExpensive()}
 	rf.unit = rf.cat.Cost(platform.Config{}) // cheapest purchase: the move-cost scale
 	rf.bestCost = m.Cost()
 	sc.best.SetJournal(false)
 	sc.best.CopyFrom(m)
 
-	iters := h.SAIters
+	rf.run(h.SAIters, h.LNSRounds)
+	m.CopyFrom(&sc.best)
+	m.SetJournal(wasJournal)
+	return nil
+}
+
+// run drives the annealing and LNS loops with their defaulted budgets;
+// the refiner must be fully initialized and sc.best seeded.
+func (rf *refiner) run(iters, rounds int) {
 	if iters <= 0 {
-		iters = 1200 + 60*in.Tree.NumOps()
+		iters = 1200 + 60*rf.in.Tree.NumOps()
 	}
-	rounds := h.LNSRounds
 	if rounds <= 0 {
 		rounds = 8
 	}
 	rf.anneal(iters)
-	for i := 0; i < rounds && rf.bestCost > lb+mapping.Eps; i++ {
+	for i := 0; i < rounds && rf.bestCost > rf.lb+mapping.Eps && !rf.stopNow(); i++ {
 		rf.lnsRound()
 	}
-	m.CopyFrom(&sc.best)
+}
+
+// Improve refines an existing complete placement of m in place: the
+// current placement is the seed, and the annealing + LNS loops only ever
+// replace it with cheaper selection-feasible states, so the result never
+// costs more than the state passed in. It is the churn repair engine's
+// local-search pass. The mapping must be complete; its placement must
+// admit a three-loop server selection (else ErrInfeasible wraps the
+// error and m is unchanged). Server selection is re-run on the refined
+// placement before returning, so m is valid as-is; on heterogeneous
+// catalogs callers wanting cost-minimal configurations additionally run
+// Downgrade, as the solve pipeline does.
+//
+// r drives every random choice; a nil r derives one from opts.Seed.
+// Cancelling ctx stops the search at the next step boundary and returns
+// the incumbent in m together with the context error, so callers can
+// distinguish "refined" from "cut short" while still holding a valid
+// never-worse state.
+func Improve(ctx context.Context, m *mapping.Mapping, r *rand.Rand, opts Options) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var deadline time.Time
+	if opts.Budget > 0 {
+		deadline = time.Now().Add(opts.Budget)
+	}
+	in := m.Inst
+	if !m.Complete() {
+		return fmt.Errorf("refine: Improve needs a complete placement")
+	}
+	if r == nil {
+		r = rng.New(opts.Seed)
+	}
+	sc := scratchPool.Get().(*refScratch)
+	defer scratchPool.Put(sc)
+
+	wasJournal := m.Journaling()
+	m.SetJournal(false) // discard any caller records; marks do not survive Improve
+	m.ClearDownloads()  // selection is re-run on the refined placement
+	m.SetJournal(true)
+
+	// Seed feasibility, probed through the journal: the incumbent the
+	// anytime contract falls back to must itself admit a selection.
+	mark := m.Checkpoint()
+	err := heuristics.SelectServersThreeLoop(m)
+	m.Rollback(mark)
+	if err != nil {
+		m.SetJournal(wasJournal)
+		return fmt.Errorf("refine: seed placement admits no server selection: %v: %w", err, heuristics.ErrInfeasible)
+	}
+
+	lb := bounds.CostLowerBound(in)
+	if m.Cost() > lb+mapping.Eps {
+		sc.bu, sc.stack = in.Tree.BottomUpInto(sc.bu, sc.stack)
+		sc.buPos = grow(sc.buPos, in.Tree.NumOps())
+		for pos, op := range sc.bu {
+			sc.buPos[op] = pos
+		}
+		rf := refiner{m: m, in: in, r: r, sc: sc, lb: lb, ctx: ctx, deadline: deadline,
+			cat: in.Platform.Catalog, most: in.Platform.Catalog.MostExpensive()}
+		rf.unit = rf.cat.Cost(platform.Config{})
+		rf.bestCost = m.Cost()
+		sc.best.SetJournal(false)
+		sc.best.CopyFrom(m)
+		rf.run(opts.SAIters, opts.LNSRounds)
+		m.CopyFrom(&sc.best)
+	}
+	// Re-run selection so the caller gets a valid mapping as-is; the
+	// installed placement was probed above (or in noteBest), so this
+	// cannot fail.
+	m.SetJournal(false)
+	if err := heuristics.SelectServersThreeLoop(m); err != nil {
+		m.SetJournal(wasJournal)
+		return fmt.Errorf("refine: refined placement admits no server selection: %v: %w", err, heuristics.ErrInfeasible)
+	}
 	m.SetJournal(wasJournal)
-	return nil
+	return ctx.Err()
+}
+
+// PlaceUnassigned greedily places every unassigned operator of m,
+// children before parents, each onto the alive processor — or a fresh
+// purchase — that minimizes the refitted total cost (the same repair
+// operator the LNS rounds use, probed and rolled back through the
+// journal, ties to the lowest processor id). Afterwards every alive
+// processor is refitted to the cheapest configuration sustaining its
+// loads. It is deterministic, requires journaling to be enabled, and
+// reports false when some operator fits nowhere — the mapping is then
+// left mid-repair and the caller owns rolling back to its checkpoint.
+func PlaceUnassigned(m *mapping.Mapping) bool {
+	in := m.Inst
+	sc := scratchPool.Get().(*refScratch)
+	defer scratchPool.Put(sc)
+	rf := refiner{m: m, in: in, sc: sc,
+		cat: in.Platform.Catalog, most: in.Platform.Catalog.MostExpensive()}
+	sc.bu, sc.stack = in.Tree.BottomUpInto(sc.bu, sc.stack)
+	for _, op := range sc.bu {
+		if m.OpProc(op) != mapping.Unassigned {
+			continue
+		}
+		if !rf.repairOp(op) {
+			return false
+		}
+	}
+	for _, p := range rf.aliveInto() {
+		rf.refit(p)
+	}
+	return true
 }
 
 // buildCandidate constructs heuristic ch's finished placement on the
@@ -210,8 +341,45 @@ type refiner struct {
 	cat      *platform.Catalog
 	most     platform.Config
 	lb       float64 // bounds.CostLowerBound: stop when reached
-	unit     float64 // cheapest configuration cost: temperature scale
+	unit     float64 // cheapest purchase cost: temperature scale
 	bestCost float64
+
+	ctx      context.Context // optional cancellation; nil means none
+	deadline time.Time       // optional Options.Budget deadline; zero means none
+	halted   bool            // latched once either signal fires
+}
+
+// stopCheckEvery throttles the annealing loop's clock polls: the budget
+// and cancellation signals are sampled once per this many steps, keeping
+// the hot loop free of time syscalls.
+const stopCheckEvery = 16
+
+// stopNow polls the cancellation and budget signals and latches the
+// answer, so callers exit promptly without re-polling.
+func (rf *refiner) stopNow() bool {
+	if rf.halted {
+		return true
+	}
+	if rf.ctx != nil && rf.ctx.Err() != nil {
+		rf.halted = true
+	} else if !rf.deadline.IsZero() && !time.Now().Before(rf.deadline) {
+		rf.halted = true
+	}
+	return rf.halted
+}
+
+// stopAt is stopNow throttled to every stopCheckEvery-th annealing step.
+func (rf *refiner) stopAt(i int) bool {
+	if rf.halted {
+		return true
+	}
+	if rf.ctx == nil && rf.deadline.IsZero() {
+		return false
+	}
+	if i%stopCheckEvery != 0 {
+		return false
+	}
+	return rf.stopNow()
 }
 
 // anneal runs the simulated-annealing loop: geometric cooling from half
@@ -220,7 +388,7 @@ func (rf *refiner) anneal(iters int) {
 	t0, tEnd := 0.5*rf.unit, 0.01*rf.unit
 	decay := math.Pow(tEnd/t0, 1/float64(iters))
 	temp := t0
-	for i := 0; i < iters && rf.bestCost > rf.lb+mapping.Eps; i++ {
+	for i := 0; i < iters && rf.bestCost > rf.lb+mapping.Eps && !rf.stopAt(i); i++ {
 		rf.step(temp)
 		temp *= decay
 	}

@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// scenarioStatus decodes a create/status response body.
+func scenarioStatus(t *testing.T, body []byte) ScenarioStatus {
+	t.Helper()
+	var st ScenarioStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("scenario JSON: %v\n%s", err, body)
+	}
+	return st
+}
+
+// TestScenarioLifecycle drives one session end to end: create with an
+// empty event stream, arrive, drift, depart, status, delete — every
+// answer a validated incumbent, every counter advancing.
+func TestScenarioLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	rec := do(t, s, "POST", "/v1/scenario",
+		[]byte(`{"scenario":{"initial_apps":2,"min_ops":4,"max_ops":6},"seed":3}`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("create: %d (%s)", rec.Code, rec.Body.String())
+	}
+	st := scenarioStatus(t, rec.Body.Bytes())
+	if st.ID == "" || st.Cost <= 0 || st.Apps != 2 || st.Events != 0 || len(st.Trace) != 0 {
+		t.Fatalf("create status: %+v", st)
+	}
+	if st.Policy != "repair" {
+		t.Fatalf("default policy = %q, want repair", st.Policy)
+	}
+	base := fmt.Sprintf("/v1/scenario/%s", st.ID)
+
+	events := []string{
+		`{"kind":"arrive","num_ops":5,"tree_seed":11,"rho":1}`,
+		`{"kind":"drift","slot":0,"factor":1.4}`,
+		`{"kind":"depart","slot":1}`,
+	}
+	for i, body := range events {
+		rec := do(t, s, "POST", base+"/event", []byte(body))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("event %d: %d (%s)", i, rec.Code, rec.Body.String())
+		}
+		var er ScenarioEventResult
+		if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+			t.Fatalf("event %d JSON: %v", i, err)
+		}
+		if er.Outcome == "rejected" || er.Cost <= 0 {
+			t.Fatalf("event %d: %+v", i, er)
+		}
+	}
+
+	rec = do(t, s, "GET", base, nil)
+	st = scenarioStatus(t, rec.Body.Bytes())
+	if st.Events != 3 || st.Rejected != 0 || st.Repaired+st.Resolved != 3 {
+		t.Fatalf("status after events: %+v", st)
+	}
+	if st.Apps != 2 { // 2 initial + 1 arrival - 1 departure
+		t.Fatalf("apps = %d, want 2", st.Apps)
+	}
+
+	if rec := do(t, s, "DELETE", base, nil); rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d", rec.Code)
+	}
+	if rec := do(t, s, "GET", base, nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("status after delete: %d, want 404", rec.Code)
+	}
+}
+
+// TestScenarioGeneratedStream creates a session whose seeded event
+// stream runs at creation; the trace and counters must cover it, and
+// the session stays live for further events.
+func TestScenarioGeneratedStream(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	rec := do(t, s, "POST", "/v1/scenario",
+		[]byte(`{"scenario":{"events":5,"min_ops":4,"max_ops":6},"policy":"resolve","seed":1}`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("create: %d (%s)", rec.Code, rec.Body.String())
+	}
+	st := scenarioStatus(t, rec.Body.Bytes())
+	if st.Policy != "resolve" || st.Events != 5 || len(st.Trace) != 5 {
+		t.Fatalf("generated-stream status: %+v", st)
+	}
+	rec = do(t, s, "POST", fmt.Sprintf("/v1/scenario/%s/event", st.ID),
+		[]byte(`{"kind":"drift","slot":0,"factor":1.1}`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-stream event: %d (%s)", rec.Code, rec.Body.String())
+	}
+}
+
+// TestScenarioRejectedEvent pins the reject path: an invalid event
+// answers 200 with outcome "rejected" and a reason, and the incumbent
+// is untouched.
+func TestScenarioRejectedEvent(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	rec := do(t, s, "POST", "/v1/scenario", []byte(`{"scenario":{"min_ops":4,"max_ops":6},"seed":2}`))
+	st := scenarioStatus(t, rec.Body.Bytes())
+
+	rec = do(t, s, "POST", fmt.Sprintf("/v1/scenario/%s/event", st.ID),
+		[]byte(`{"kind":"depart","slot":99}`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rejected event: %d (%s)", rec.Code, rec.Body.String())
+	}
+	var er ScenarioEventResult
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Outcome != "rejected" || er.Error == "" {
+		t.Fatalf("rejected event result: %+v", er)
+	}
+	if er.Cost != st.Cost || er.Apps != st.Apps {
+		t.Fatalf("incumbent changed on rejection: %+v vs %+v", er, st)
+	}
+	after := scenarioStatus(t, do(t, s, "GET", "/v1/scenario/"+st.ID, nil).Body.Bytes())
+	if after.Rejected != 1 || after.Cost != st.Cost {
+		t.Fatalf("status after rejection: %+v", after)
+	}
+}
+
+// TestScenarioBadRequests pins the HTTP error mapping.
+func TestScenarioBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, MaxOps: 50})
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/v1/scenario", `not json`, http.StatusBadRequest},
+		{"POST", "/v1/scenario", `{"policy":"magic"}`, http.StatusBadRequest},
+		{"POST", "/v1/scenario", `{"scenario":{"drift":"sideways"}}`, http.StatusBadRequest},
+		{"POST", "/v1/scenario", `{"scenario":{"min_ops":9,"max_ops":4}}`, http.StatusBadRequest},
+		{"POST", "/v1/scenario", `{"scenario":{"arrive_frac":0.8,"depart_frac":0.8}}`, http.StatusBadRequest},
+		{"POST", "/v1/scenario", `{"scenario":{"rho":-1}}`, http.StatusBadRequest},
+		{"POST", "/v1/scenario", `{"scenario":{"max_ops":500}}`, http.StatusRequestEntityTooLarge},
+		{"GET", "/v1/scenario/nope", "", http.StatusNotFound},
+		{"DELETE", "/v1/scenario/nope", "", http.StatusNotFound},
+		{"POST", "/v1/scenario/nope/event", `{"kind":"drift","slot":0,"factor":1.1}`, http.StatusNotFound},
+	}
+	for _, c := range cases {
+		var body []byte
+		if c.body != "" {
+			body = []byte(c.body)
+		}
+		if rec := do(t, s, c.method, c.path, body); rec.Code != c.want {
+			t.Errorf("%s %s %s: %d, want %d (%s)", c.method, c.path, c.body, rec.Code, c.want, rec.Body.String())
+		}
+	}
+
+	// Event-level errors need a live session.
+	st := scenarioStatus(t, do(t, s, "POST", "/v1/scenario",
+		[]byte(`{"scenario":{"min_ops":4,"max_ops":6},"seed":1}`)).Body.Bytes())
+	base := fmt.Sprintf("/v1/scenario/%s/event", st.ID)
+	if rec := do(t, s, "POST", base, []byte(`{"kind":"mutate"}`)); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad kind: %d", rec.Code)
+	}
+	if rec := do(t, s, "POST", base, []byte(`{"kind":"arrive","num_ops":500}`)); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized arrival: %d", rec.Code)
+	}
+	// timeout_ms <= 0 falls back to the server default, like /v1/solve.
+	if rec := do(t, s, "POST", base, []byte(`{"kind":"drift","slot":0,"factor":1.2,"timeout_ms":-1}`)); rec.Code != http.StatusOK {
+		t.Errorf("default-timeout drift: %d (%s)", rec.Code, rec.Body.String())
+	}
+}
+
+// TestScenarioSessionCap fills the registry and requires 429 beyond it,
+// then frees a slot with DELETE.
+func TestScenarioSessionCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("creates maxScenarios sessions")
+	}
+	s := newTestServer(t, Config{Workers: 1})
+	body := []byte(`{"scenario":{"initial_apps":1,"min_ops":3,"max_ops":3},"seed":1}`)
+	var first string
+	for i := 0; i < maxScenarios; i++ {
+		rec := do(t, s, "POST", "/v1/scenario", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("create %d: %d (%s)", i, rec.Code, rec.Body.String())
+		}
+		if i == 0 {
+			first = scenarioStatus(t, rec.Body.Bytes()).ID
+		}
+	}
+	if rec := do(t, s, "POST", "/v1/scenario", body); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("over cap: %d, want 429", rec.Code)
+	}
+	if rec := do(t, s, "DELETE", "/v1/scenario/"+first, nil); rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d", rec.Code)
+	}
+	if rec := do(t, s, "POST", "/v1/scenario", body); rec.Code != http.StatusOK {
+		t.Fatalf("create after delete: %d", rec.Code)
+	}
+}
+
+// TestScenarioStatszCounters checks the churn section of /statsz.
+func TestScenarioStatszCounters(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	st := scenarioStatus(t, do(t, s, "POST", "/v1/scenario",
+		[]byte(`{"scenario":{"min_ops":4,"max_ops":6},"seed":4}`)).Body.Bytes())
+	base := fmt.Sprintf("/v1/scenario/%s/event", st.ID)
+	do(t, s, "POST", base, []byte(`{"kind":"drift","slot":0,"factor":1.3}`))
+	do(t, s, "POST", base, []byte(`{"kind":"depart","slot":77}`)) // rejected
+
+	rec := do(t, s, "GET", "/statsz", nil)
+	var sz statszResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sz); err != nil {
+		t.Fatalf("statsz JSON: %v", err)
+	}
+	if sz.Churn.Live != 1 || sz.Churn.Created != 1 {
+		t.Fatalf("churn sessions: %+v", sz.Churn)
+	}
+	if sz.Churn.Events != 2 || sz.Churn.Rejected != 1 ||
+		sz.Churn.Repaired+sz.Churn.Resolved != 1 {
+		t.Fatalf("churn event counters: %+v", sz.Churn)
+	}
+}
+
+// TestScenarioNoGoroutineLeak pins that sessions own no goroutines:
+// after a busy create/event/delete mix and Close, the goroutine count
+// returns to the baseline.
+func TestScenarioNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Config{Workers: 2})
+	for i := 0; i < 3; i++ {
+		rec := do(t, s, "POST", "/v1/scenario",
+			[]byte(fmt.Sprintf(`{"scenario":{"events":2,"min_ops":4,"max_ops":6},"seed":%d}`, i+1)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("create %d: %d (%s)", i, rec.Code, rec.Body.String())
+		}
+		st := scenarioStatus(t, rec.Body.Bytes())
+		do(t, s, "POST", fmt.Sprintf("/v1/scenario/%s/event", st.ID),
+			[]byte(`{"kind":"drift","slot":0,"factor":1.2}`))
+		if i%2 == 0 {
+			do(t, s, "DELETE", "/v1/scenario/"+st.ID, nil)
+		}
+	}
+	s.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after drain", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

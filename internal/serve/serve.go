@@ -19,10 +19,16 @@
 //	POST /v1/sweep   submit a distributed figure sweep; plus lease
 //	                 claim/renew/complete and progress/result routes —
 //	                 see sweep.go and internal/coord
+//	POST /v1/scenario  create a churn session: a live incumbent
+//	                 allocation answering dynamic events (application
+//	                 arrivals/departures, rate drift) by journaled
+//	                 local repair; plus per-session event/status/delete
+//	                 routes — see scenario.go and internal/churn
 //	GET  /healthz    liveness ("ok")
 //	GET  /statsz     JSON counters: requests, rejections, in-flight,
 //	                 p50/p99 latency, per-worker arena reuse stats,
-//	                 sweep coordinator lease/re-lease/merge counters
+//	                 sweep coordinator lease/re-lease/merge counters,
+//	                 churn session/outcome/migration counters
 //
 // Every response the solve and verify endpoints produce is a pure
 // function of the request body: workers carry no identity into results,
@@ -113,6 +119,13 @@ type Server struct {
 	// drain.
 	coord *coord.Coordinator
 
+	// scenarios are the live churn sessions (see scenario.go). Sessions
+	// own no goroutines — events run inline on HTTP goroutines — so
+	// Close has nothing extra to drain here either.
+	scenMu    sync.Mutex
+	scenarios map[string]*scenarioSession
+	scenSeq   int64
+
 	// testHookJobStart, when set before any request arrives, runs on the
 	// worker goroutine at the start of every job; tests use it to hold
 	// workers busy deterministically (queue-full and deadline paths).
@@ -141,6 +154,7 @@ func New(cfg Config) *Server {
 	})
 	s.coord = coord.New(coord.Config{DefaultLeaseTTL: cfg.SweepLeaseTTL})
 	s.registerSweep()
+	s.registerScenario()
 	s.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		go s.worker(w)

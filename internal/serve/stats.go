@@ -25,6 +25,16 @@ type counters struct {
 	rejectedDrain atomic.Int64
 	timeouts      atomic.Int64
 	inFlight      atomic.Int64
+
+	// Churn-session counters (see scenario.go): session creations,
+	// events answered, per-outcome splits and total operator
+	// migrations across every session's lifetime.
+	scenarioReqs   atomic.Int64
+	scenarioEvents atomic.Int64
+	churnRepaired  atomic.Int64
+	churnResolved  atomic.Int64
+	churnRejected  atomic.Int64
+	churnMoved     atomic.Int64
 }
 
 // workerStats are one worker's counters; each worker writes only its
@@ -111,6 +121,20 @@ type statszResponse struct {
 	// re-offered — straggler and dead-worker recoveries), duplicate
 	// completions discarded, and merge latency.
 	Sweep coord.SweepStats `json:"sweep"`
+
+	// Churn carries the scenario sessions' lifetime counters: how many
+	// sessions were created and are live, events answered, the
+	// repair/re-solve/reject outcome split, and total surviving
+	// operators migrated — the number local repair exists to minimize.
+	Churn struct {
+		Live     int   `json:"live"`
+		Created  int64 `json:"created"`
+		Events   int64 `json:"events"`
+		Repaired int64 `json:"repaired"`
+		Resolved int64 `json:"resolved"`
+		Rejected int64 `json:"rejected"`
+		Moved    int64 `json:"operators_moved"`
+	} `json:"churn"`
 }
 
 type workerStatsJSON struct {
@@ -144,6 +168,15 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	}
 	resp.Latency.P50MS, resp.Latency.P99MS, resp.Latency.Count = s.lat.quantiles()
 	resp.Sweep = s.coord.StatsSnapshot()
+	s.scenMu.Lock()
+	resp.Churn.Live = len(s.scenarios)
+	s.scenMu.Unlock()
+	resp.Churn.Created = s.stats.scenarioReqs.Load()
+	resp.Churn.Events = s.stats.scenarioEvents.Load()
+	resp.Churn.Repaired = s.stats.churnRepaired.Load()
+	resp.Churn.Resolved = s.stats.churnResolved.Load()
+	resp.Churn.Rejected = s.stats.churnRejected.Load()
+	resp.Churn.Moved = s.stats.churnMoved.Load()
 	for i := range s.workers {
 		ws := &s.workers[i]
 		resp.PerWorker = append(resp.PerWorker, workerStatsJSON{

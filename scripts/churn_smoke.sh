@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# churn_smoke.sh — end-to-end smoke test for the churn subsystem.
+#
+# Runs the "churn" figure (journaled local repair vs from-scratch
+# re-solve over dynamic scenarios) small through the real CLI and
+# requires:
+#   1. the .dat output to match the committed golden byte for byte
+#      (scenarios and both answer policies are pure functions of their
+#      seeds, on every machine);
+#   2. a 2-shard merged run to be byte-identical to the unsharded run;
+#   3. the dominance gate to pass: on EVERY scenario both policies can
+#      start, repair's final cost stays within the gate tolerance of the
+#      re-solve's, and over the whole grid repair migrates strictly
+#      fewer surviving operators — the plotted means cannot witness the
+#      per-cell half, so the gate re-checks raw cells via
+#      `experiments -churn-gate`.
+# Run via `make churn-smoke`. Refresh the golden after an intentional
+# figure change with:
+#   go run ./cmd/experiments -seeds 2 -only churn -out /tmp/cs >/dev/null \
+#     && cp /tmp/cs/churn.dat scripts/testdata/churn_smoke.dat
+set -eu
+
+GO=${GO:-go}
+DIR=${CHURN_SMOKE_DIR:-.churn-smoke}
+GOLDEN=scripts/testdata/churn_smoke.dat
+
+fail() {
+    echo "churn-smoke: FAIL: $*" >&2
+    exit 1
+}
+
+cleanup() {
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+rm -rf "$DIR"
+mkdir -p "$DIR"
+
+"$GO" run ./cmd/experiments -seeds 2 -only churn -workers 2 -out "$DIR/full" >/dev/null \
+    || fail "unsharded churn figure run failed"
+cmp "$DIR/full/churn.dat" "$GOLDEN" \
+    || fail "churn.dat differs from the committed golden $GOLDEN"
+
+"$GO" run ./cmd/experiments -seeds 2 -only churn -workers 2 -shard 0/2 -out "$DIR/shards" >/dev/null \
+    || fail "shard 0/2 failed"
+"$GO" run ./cmd/experiments -seeds 2 -only churn -workers 1 -shard 1/2 -out "$DIR/shards" >/dev/null \
+    || fail "shard 1/2 failed"
+"$GO" run ./cmd/experiments -seeds 2 -only churn -merge 2 -out "$DIR/shards" >/dev/null \
+    || fail "shard merge failed"
+cmp "$DIR/full/churn.dat" "$DIR/shards/churn.dat" \
+    || fail "sharded merge differs from the unsharded run"
+
+"$GO" run ./cmd/experiments -churn-gate -seeds 2 \
+    || fail "dominance gate failed (repair cost beyond tolerance or operators moved not strictly lower)"
+
+echo "churn-smoke: golden match, sharded merge identical, dominance gate passed"
