@@ -66,11 +66,14 @@ serve-smoke:
 	SERVE_SMOKE_DIR=$(SERVE_SMOKE_DIR) GO=$(GO) sh scripts/serve_smoke.sh
 
 # Distributed-coordinator smoke test: boot cmd/serve with short shard
-# leases, submit a 3-shard sweep job, run three real sweepworker
-# processes — one kill -KILL'd mid-shard, one straggler whose lease
-# expires and whose late result is discarded — and require the merged
-# figure output to be byte-identical to an unsharded single-process
-# run, with at least one lease re-offer and a clean SIGTERM drain.
+# leases and a durable -coord-state-dir, submit a 3-shard sweep job,
+# run three real sweepworker processes — one kill -KILL'd mid-shard,
+# one straggler whose lease expires and whose late result is discarded
+# — then kill -KILL the coordinator itself mid-sweep and restart it on
+# the same state dir. The restarted daemon must report the recovered
+# job on /statsz and the merged figure output must be byte-identical
+# to an unsharded single-process run, with at least one lease re-offer
+# and a clean SIGTERM drain that seals a final snapshot.
 COORD_SMOKE_DIR ?= .coord-smoke
 coord-smoke:
 	COORD_SMOKE_DIR=$(COORD_SMOKE_DIR) GO=$(GO) sh scripts/coord_smoke.sh

@@ -10,12 +10,15 @@
 // Usage:
 //
 //	serve [-addr :8080] [-workers W] [-queue Q] [-timeout D] [-max-timeout D]
-//	      [-max-ops N] [-sweep-lease-ttl D] [-port-file PATH]
+//	      [-max-ops N] [-sweep-lease-ttl D] [-coord-state-dir DIR] [-port-file PATH]
 //
 // The daemon stops accepting connections on SIGINT/SIGTERM, finishes
 // every in-flight and queued request, drains the worker pool and exits
 // 0 — smoke tests assert exactly that. With -addr host:0 the kernel
 // picks the port; -port-file publishes the bound address for scripts.
+// With -coord-state-dir the sweep coordinator journals its job state
+// there and recovers it on restart, so a killed daemon resumes its
+// sweeps where they stopped (see internal/coord).
 package main
 
 import (
@@ -42,6 +45,7 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
 		maxOps     = flag.Int("max-ops", 2000, "largest accepted instance, in operators")
 		sweepTTL   = flag.Duration("sweep-lease-ttl", 0, "default sweep shard lease deadline (0: coordinator default 30s)")
+		stateDir   = flag.String("coord-state-dir", "", "journal + snapshot sweep coordinator state here and recover it on restart (empty: in-memory only)")
 		portFile   = flag.String("port-file", "", "write the bound listen address to this file once serving")
 	)
 	flag.Parse()
@@ -53,6 +57,7 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		MaxOps:         *maxOps,
 		SweepLeaseTTL:  *sweepTTL,
+		CoordStateDir:  *stateDir,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
@@ -64,7 +69,11 @@ func run(addr, portFile string, cfg serve.Config) error {
 	if err != nil {
 		return err
 	}
-	pool := serve.New(cfg)
+	pool, err := serve.Open(cfg)
+	if err != nil {
+		ln.Close()
+		return err
+	}
 	httpSrv := &http.Server{
 		Handler:           pool,
 		ReadHeaderTimeout: 10 * time.Second,

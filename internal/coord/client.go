@@ -3,6 +3,8 @@ package coord
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -157,8 +159,20 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body, out any)
 	return resp.StatusCode, nil
 }
 
-// Submit registers a sweep job and returns its id.
+// Submit registers a sweep job and returns its id. When the job
+// carries no JobKey, Submit generates one, so a retry after a
+// transport failure — including send's own failover rotation, which
+// can land on a replica after the primary committed the job but died
+// before replying — dedupes on the coordinator instead of registering
+// the sweep twice.
 func (c *Client) Submit(ctx context.Context, job SweepJob) (string, error) {
+	if job.JobKey == "" {
+		var b [16]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "", fmt.Errorf("coord: generating job key: %w", err)
+		}
+		job.JobKey = "ck-" + hex.EncodeToString(b[:])
+	}
 	var out submitResponse
 	if _, err := c.doJSON(ctx, http.MethodPost, "/v1/sweep", job, &out); err != nil {
 		return "", err

@@ -78,6 +78,68 @@ func TestClientAllEndpointsDown(t *testing.T) {
 	}
 }
 
+// TestClientSubmitIdempotentAcrossFailover is the double-submit
+// regression: the primary commits a Submit but dies before answering,
+// the client rotates and retries against a replica sharing the same
+// coordinator — the auto-generated job key must dedupe, leaving
+// exactly one job.
+func TestClientSubmitIdempotentAcrossFailover(t *testing.T) {
+	co := New(Config{Now: newFakeClock().Now})
+	submitHandler := func(kill *bool) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			var spec SweepJob
+			if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+				t.Errorf("decoding submit: %v", err)
+			}
+			if spec.JobKey == "" {
+				t.Error("Client.Submit sent no job_key")
+			}
+			id, err := co.Submit(spec)
+			if err != nil {
+				t.Errorf("Submit: %v", err)
+			}
+			if *kill {
+				*kill = false
+				// Commit happened; die before the response reaches the
+				// client, like a crashing primary.
+				panic(http.ErrAbortHandler)
+			}
+			json.NewEncoder(w).Encode(submitResponse{ID: id})
+		}
+	}
+	killNext := true
+	primary := httptest.NewServer(submitHandler(&killNext))
+	defer primary.Close()
+	noKill := false
+	replica := httptest.NewServer(submitHandler(&noKill))
+	defer replica.Close()
+
+	c := NewClient(primary.URL + "," + replica.URL)
+	id, err := c.Submit(context.Background(), testJob(2))
+	if err != nil {
+		t.Fatalf("Submit across failover: %v", err)
+	}
+	st := co.StatsSnapshot()
+	if st.JobsSubmitted != 1 {
+		t.Fatalf("jobs_submitted = %d after failover retry, want 1 (double-submit)", st.JobsSubmitted)
+	}
+	if st.SubmitsDeduped != 1 {
+		t.Fatalf("submits_deduped = %d, want 1", st.SubmitsDeduped)
+	}
+	if _, err := co.Progress(id); err != nil {
+		t.Fatalf("returned id %q unknown to the coordinator: %v", id, err)
+	}
+
+	// Distinct Submit calls must still create distinct jobs: the key is
+	// per-call, not per-client.
+	if _, err := c.Submit(context.Background(), testJob(2)); err != nil {
+		t.Fatalf("second Submit: %v", err)
+	}
+	if st := co.StatsSnapshot(); st.JobsSubmitted != 2 {
+		t.Fatalf("jobs_submitted = %d after a distinct Submit, want 2", st.JobsSubmitted)
+	}
+}
+
 // TestClientFailoverResendsBody verifies a POST body survives rotation:
 // the live endpoint must receive the full JSON payload even though the
 // first endpoint failed mid-flight.

@@ -56,6 +56,10 @@ var (
 	ErrDuplicate = errors.New("coord: shard already completed")
 	// ErrTooManyJobs: the live-jobs bound was hit (429).
 	ErrTooManyJobs = errors.New("coord: too many live jobs")
+	// ErrJournal wraps a failed journal append on a durable coordinator
+	// (500): the operation was refused so the on-disk history never
+	// diverges from what clients observed.
+	ErrJournal = errors.New("coord: journal append failed")
 )
 
 // Config tunes a Coordinator. The zero value is serviceable: 30s
@@ -72,6 +76,23 @@ type Config struct {
 	// Now overrides the clock; nil means time.Now. Tests drive lease
 	// expiry deterministically through it.
 	Now func() time.Time
+
+	// StateDir, when non-empty, makes job state durable: every
+	// submit/claim/renew/complete appends to an append-only journal
+	// there, the shard table is snapshotted periodically, and Open
+	// replays both back into an identical coordinator after a crash or
+	// restart (see journal.go and recovery.go). Empty keeps the
+	// coordinator purely in-memory. Durable coordinators must be
+	// created with Open, not New.
+	StateDir string
+	// SnapshotEvery is the number of journal appends between shard-table
+	// snapshots (journal truncation points); <= 0 means 256.
+	SnapshotEvery int
+	// SyncInterval is the group-commit window: non-critical journal
+	// records (claim/renew) are fsynced at most this long after they are
+	// written, batching the lease hot path's syncs. Critical records
+	// (submit/complete/merge) always sync immediately. <= 0 means 100ms.
+	SyncInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +110,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Now == nil {
 		c.Now = time.Now
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 256
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 100 * time.Millisecond
 	}
 	return c
 }
@@ -145,27 +172,50 @@ type job struct {
 func (j *job) finished() bool { return j.merged || j.failed != "" }
 
 // Coordinator schedules sweep jobs over leases. Safe for concurrent
-// use; create with New.
+// use; create with New (in-memory) or Open (durable).
 type Coordinator struct {
 	cfg Config
 
 	mu    sync.Mutex
 	jobs  map[string]*job
-	order []string // submission order, for any-job claims
-	seq   int      // job-id and lease-token counter
+	order []string          // submission order, for any-job claims
+	seq   int               // job-id and lease-token counter
+	byKey map[string]string // client job key -> job id (idempotent Submit)
+
+	// Durable-state machinery (nil journal = in-memory coordinator).
+	// epoch counts Opens of the state dir; it namespaces lease tokens
+	// so a recovered coordinator can never re-issue a dead
+	// incarnation's token.
+	jnl   *journal
+	epoch int
 
 	// lifetime counters (mu-guarded; see StatsSnapshot)
 	stats SweepStats
 }
 
-// New returns an empty Coordinator.
+// New returns an empty in-memory Coordinator. It panics when cfg
+// names a StateDir whose recovery fails — durable coordinators should
+// use Open and handle the error.
 func New(cfg Config) *Coordinator {
-	return &Coordinator{cfg: cfg.withDefaults(), jobs: make(map[string]*job)}
+	c, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
 }
+
+// maxJobKeyLen bounds client-supplied idempotency keys.
+const maxJobKeyLen = 200
 
 // Submit validates and registers a sweep job, returning its id. Shard
 // decomposition is immediate: the job's shards are claimable as soon
 // as Submit returns.
+//
+// Submit is idempotent over spec.JobKey: a second submission carrying
+// a known key returns the existing job's id without creating
+// anything, which makes client retries safe even when a previous
+// attempt committed but the response was lost (a dying primary, a
+// failover rotation). Client.Submit always attaches a key.
 func (c *Coordinator) Submit(spec SweepJob) (string, error) {
 	if err := validFigure(spec.Figure); err != nil {
 		return "", err
@@ -179,6 +229,9 @@ func (c *Coordinator) Submit(spec SweepJob) (string, error) {
 	if spec.Shards < 1 || spec.Shards > c.cfg.MaxShards {
 		return "", fmt.Errorf("coord: shards must be in [1, %d], got %d", c.cfg.MaxShards, spec.Shards)
 	}
+	if len(spec.JobKey) > maxJobKeyLen {
+		return "", fmt.Errorf("coord: job_key longer than %d bytes", maxJobKeyLen)
+	}
 	ttl := c.cfg.DefaultLeaseTTL
 	if spec.LeaseTTLMS > 0 {
 		ttl = time.Duration(spec.LeaseTTLMS) * time.Millisecond
@@ -190,19 +243,34 @@ func (c *Coordinator) Submit(spec SweepJob) (string, error) {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if spec.JobKey != "" {
+		if id, ok := c.byKey[spec.JobKey]; ok {
+			c.stats.SubmitsDeduped++
+			return id, nil
+		}
+	}
 	if len(c.jobs) >= c.cfg.MaxJobs {
 		return "", ErrTooManyJobs
 	}
-	c.seq++
+	seq := c.seq + 1
+	id := fmt.Sprintf("j%d", seq)
+	if err := c.logRecord(record{Type: recSubmit, Job: id, Spec: &spec, Seq: seq}); err != nil {
+		return "", err
+	}
+	c.seq = seq
 	j := &job{
-		id:     fmt.Sprintf("j%d", c.seq),
+		id:     id,
 		spec:   spec,
 		ttl:    ttl,
 		shards: make([]shard, spec.Shards),
 	}
 	c.jobs[j.id] = j
 	c.order = append(c.order, j.id)
+	if spec.JobKey != "" {
+		c.byKey[spec.JobKey] = j.id
+	}
 	c.stats.JobsSubmitted++
+	c.maybeSnapshotLocked()
 	return j.id, nil
 }
 
@@ -264,13 +332,23 @@ func (c *Coordinator) Claim(jobID, worker string) (*Lease, error) {
 			if s.state != shardPending {
 				continue
 			}
-			c.seq++
+			seq := c.seq + 1
+			token := c.leaseToken(seq)
+			deadline := now.Add(j.ttl)
+			if err := c.logRecord(record{
+				Type: recClaim, Job: j.id, Shard: i, Seq: seq,
+				Token: token, Worker: worker, Deadline: deadline.UnixNano(),
+			}); err != nil {
+				return nil, err
+			}
+			c.seq = seq
 			s.state = shardLeased
-			s.token = fmt.Sprintf("t%d", c.seq)
+			s.token = token
 			s.worker = worker
-			s.deadline = now.Add(j.ttl)
+			s.deadline = deadline
 			s.leases++
 			c.stats.LeasesGranted++
+			c.maybeSnapshotLocked()
 			return &Lease{
 				Job:      j.id,
 				Figure:   j.spec.Figure,
@@ -287,6 +365,18 @@ func (c *Coordinator) Claim(jobID, worker string) (*Lease, error) {
 		return nil, ErrJobDone
 	}
 	return nil, ErrNoWork
+}
+
+// leaseToken formats the token for the lease consuming counter value
+// seq. Durable coordinators qualify tokens with the state dir's open
+// count: even if a machine crash lost unsynced claim records (so the
+// counter floor regressed), a recovered coordinator can never re-issue
+// a token the dead incarnation handed out.
+func (c *Coordinator) leaseToken(seq int) string {
+	if c.epoch > 0 {
+		return fmt.Sprintf("t%d.%d", c.epoch, seq)
+	}
+	return fmt.Sprintf("t%d", seq)
 }
 
 // Renew extends the lease identified by (jobID, shardIdx, token) by a
@@ -308,9 +398,16 @@ func (c *Coordinator) Renew(jobID string, shardIdx int, token string) (int64, er
 	if s.state != shardLeased || s.token != token {
 		return 0, ErrLeaseLost
 	}
-	s.deadline = now.Add(j.ttl)
+	deadline := now.Add(j.ttl)
+	if err := c.logRecord(record{
+		Type: recRenew, Job: j.id, Shard: shardIdx, Token: token, Deadline: deadline.UnixNano(),
+	}); err != nil {
+		return 0, err
+	}
+	s.deadline = deadline
 	s.renewals++
 	c.stats.Renewals++
+	c.maybeSnapshotLocked()
 	return j.ttl.Milliseconds(), nil
 }
 
@@ -337,6 +434,10 @@ func (c *Coordinator) Complete(jobID string, shardIdx int, token, worker string,
 	}
 	s := &j.shards[shardIdx]
 	if s.state == shardDone {
+		if err := c.logRecord(record{Type: recDuplicate, Job: j.id, Shard: shardIdx}); err != nil {
+			c.mu.Unlock()
+			return err
+		}
 		j.duplicates++
 		c.stats.Duplicates++
 		c.mu.Unlock()
@@ -369,6 +470,12 @@ func (c *Coordinator) Complete(jobID string, shardIdx int, token, worker string,
 		return err
 	}
 
+	if err := c.logRecord(record{
+		Type: recComplete, Job: j.id, Shard: shardIdx, Worker: worker, Cells: cells,
+	}); err != nil {
+		c.mu.Unlock()
+		return err
+	}
 	s.state = shardDone
 	s.token = ""
 	s.cells = cells
@@ -376,6 +483,7 @@ func (c *Coordinator) Complete(jobID string, shardIdx int, token, worker string,
 	j.done++
 	c.stats.ShardsCompleted++
 	if j.done < len(j.shards) {
+		c.maybeSnapshotLocked()
 		c.mu.Unlock()
 		return nil
 	}
@@ -395,20 +503,16 @@ func (c *Coordinator) Complete(jobID string, shardIdx int, token, worker string,
 
 	c.mu.Lock()
 	j.mergeDur = dur
+	failed := ""
 	if err != nil {
-		j.failed = err.Error()
-		c.stats.JobsFailed++
-	} else {
-		j.dat = dat
-		j.merged = true
-		c.stats.JobsDone++
-		c.stats.Merges++
-		ms := dur.Seconds() * 1e3
-		c.stats.LastMergeMS = ms
-		if ms > c.stats.MaxMergeMS {
-			c.stats.MaxMergeMS = ms
-		}
+		failed = err.Error()
 	}
+	c.recordMergeOutcome(j, dat, failed)
+	// The merge record is best-effort: every complete is already
+	// durable and the merge is a pure function of them, so a lost
+	// append merely means the next Open re-merges.
+	_ = c.logRecord(record{Type: recMerge, Job: j.id, Dat: dat, Failed: failed, MergeNS: int64(dur)})
+	c.maybeSnapshotLocked()
 	c.mu.Unlock()
 	return nil
 }
@@ -499,7 +603,10 @@ func (c *Coordinator) Result(jobID string) ([]byte, error) {
 }
 
 // SweepStats are the coordinator's lifetime counters, exposed on the
-// daemon's /statsz.
+// daemon's /statsz. The scheduling counters (jobs, leases, merges) are
+// durable: a recovered coordinator restores them from its snapshot and
+// journal. The persistence counters below the marker describe this
+// process incarnation only — recovery resets them.
 type SweepStats struct {
 	JobsSubmitted   int     `json:"jobs_submitted"`
 	JobsActive      int     `json:"jobs_active"`
@@ -513,6 +620,37 @@ type SweepStats struct {
 	Merges          int     `json:"merges"`
 	LastMergeMS     float64 `json:"last_merge_ms"`
 	MaxMergeMS      float64 `json:"max_merge_ms"`
+
+	// Process-local counters: not restored by recovery. SubmitsDeduped
+	// hits append no journal record (dedup changes no state; the byKey
+	// table itself is durable, so dedup keeps working after a restart).
+	SubmitsDeduped int `json:"submits_deduped"`
+
+	// Persistence counters (durable coordinators only; process-lifetime).
+	JobsRecovered    int   `json:"jobs_recovered"`           // unfinished jobs restored at the last Open
+	ShardsRecovered  int   `json:"shards_recovered"`         // completed shards restored (recomputes avoided)
+	JournalReplayed  int   `json:"journal_records_replayed"` // records applied at the last Open
+	JournalAppends   int64 `json:"journal_appends"`
+	JournalSyncs     int64 `json:"journal_syncs"` // fsyncs issued (group commit batches appends between them)
+	JournalBytes     int64 `json:"journal_bytes"`
+	JournalTruncated int64 `json:"journal_truncated_bytes"` // torn/corrupt tail bytes dropped at Open
+	Snapshots        int64 `json:"snapshots_written"`
+}
+
+// durable returns the stats as written into a snapshot: scheduling
+// counters kept, process-local persistence counters zeroed.
+func (st SweepStats) durable() SweepStats {
+	st.JobsActive = 0
+	st.SubmitsDeduped = 0
+	st.JobsRecovered = 0
+	st.ShardsRecovered = 0
+	st.JournalReplayed = 0
+	st.JournalAppends = 0
+	st.JournalSyncs = 0
+	st.JournalBytes = 0
+	st.JournalTruncated = 0
+	st.Snapshots = 0
+	return st
 }
 
 // StatsSnapshot returns the current counters.

@@ -7,7 +7,10 @@ package coord_test
 // that the merged figure is byte-identical to the unsharded run.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"sync"
@@ -98,6 +101,129 @@ func TestDistributedSweepFaultInjectionE2E(t *testing.T) {
 		if time.Now().After(deadline) {
 			buf := make([]byte, 1<<20)
 			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCoordinatorRecoveryE2E drives the full recovery path over the
+// real HTTP stack: a durable daemon takes a sweep partway (one shard
+// done, one lease outstanding), drains; a second daemon opens the same
+// state dir, reports the recovered job on /statsz, and a worker
+// finishes the sweep byte-identical to the unsharded run. The
+// goroutine-leak check brackets both daemon lifetimes, so open →
+// replay → serve → drain may leave nothing behind (run under -race in
+// CI).
+func TestCoordinatorRecoveryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery e2e in -short mode")
+	}
+	before := runtime.NumGoroutine()
+	stateDir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// First incarnation: partial progress, then a drain (which must
+	// snapshot, per the Close contract).
+	// Short leases: the doomed lease's restored (absolute) deadline must
+	// pass in wall time before the post-restart worker can reclaim it.
+	pool1, err := serve.Open(serve.Config{Workers: 1, CoordStateDir: stateDir, SweepLeaseTTL: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Open #1: %v", err)
+	}
+	ts1 := httptest.NewServer(pool1)
+	c1 := coord.NewClient(ts1.URL)
+	id, err := c1.Submit(ctx, coord.SweepJob{Figure: "fig2a", Seeds: 2, BaseSeed: 1, Shards: 3})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	l, err := c1.Claim(ctx, id, "pre-restart")
+	if err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	sc, err := experiments.RunFigureShard(ctx, l.Figure,
+		experiments.Config{Seeds: l.Seeds, BaseSeed: l.BaseSeed},
+		experiments.Shard{Index: l.Shard, Count: l.Shards})
+	if err != nil {
+		t.Fatalf("RunFigureShard: %v", err)
+	}
+	var cells bytes.Buffer
+	if err := sc.Encode(&cells); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if err := c1.Complete(ctx, l, "pre-restart", cells.Bytes()); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if _, err := c1.Claim(ctx, id, "doomed"); err != nil {
+		t.Fatalf("second Claim: %v", err) // lease dies with this incarnation
+	}
+	ts1.Close()
+	pool1.Close()
+
+	// Second incarnation on the same state dir.
+	pool2, err := serve.Open(serve.Config{Workers: 1, CoordStateDir: stateDir, SweepLeaseTTL: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("Open #2: %v", err)
+	}
+	ts2 := httptest.NewServer(pool2)
+	c2 := coord.NewClient(ts2.URL)
+
+	resp, err := http.Get(ts2.URL + "/statsz")
+	if err != nil {
+		t.Fatalf("GET /statsz: %v", err)
+	}
+	var stats struct {
+		Sweep coord.SweepStats `json:"sweep"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decoding statsz: %v", err)
+	}
+	resp.Body.Close()
+	if stats.Sweep.JobsRecovered != 1 || stats.Sweep.ShardsRecovered != 1 {
+		t.Fatalf("statsz sweep: jobs_recovered=%d shards_recovered=%d, want 1 and 1",
+			stats.Sweep.JobsRecovered, stats.Sweep.ShardsRecovered)
+	}
+
+	// A worker finishes the recovered job: the doomed lease's shard is
+	// re-offered once its (restored) deadline passes.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		coord.RunWorker(ctx, coord.NewClient(ts2.URL), coord.WorkerOptions{
+			Name: "post-restart", Job: id, Poll: 50 * time.Millisecond,
+		})
+	}()
+	dat, err := c2.Await(ctx, id, 50*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Await: %v", err)
+	}
+	wg.Wait()
+
+	fig, err := experiments.BuildFigure(ctx, "fig2a", experiments.Config{Seeds: 2, BaseSeed: 1})
+	if err != nil {
+		t.Fatalf("BuildFigure golden: %v", err)
+	}
+	if dat != fig.Dat() {
+		t.Errorf("recovered merge differs from unsharded golden: got %d bytes, want %d", len(dat), len(fig.Dat()))
+	}
+	p, err := c2.Progress(ctx, id)
+	if err != nil {
+		t.Fatalf("Progress: %v", err)
+	}
+	if p.Shards[l.Shard].DoneBy != "pre-restart" {
+		t.Errorf("shard %d recomputed after restart: done by %q", l.Shard, p.Shards[l.Shard].DoneBy)
+	}
+
+	ts2.Close()
+	pool2.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak across recovery: %d before, %d after\n%s",
 				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
 		}
 		time.Sleep(10 * time.Millisecond)

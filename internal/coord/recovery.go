@@ -1,0 +1,445 @@
+package coord
+
+// Recovery: Open replays snapshot + journal back into the exact shard
+// table the previous process had, then serves as if the restart never
+// happened. The equivalence argument, piece by piece:
+//
+//   - Submit/Claim/Renew/Complete each append their record under the
+//     same mutex hold that mutates the table, so the journal is a
+//     serialization of the live history.
+//   - Lease deadlines are journaled as absolute timestamps. Recovery
+//     does not expire anything itself: a lease whose deadline passed
+//     while the coordinator was down is restored as leased and expires
+//     lazily on the next Claim/Progress — the same code path, the same
+//     observable effect, as a lease that expired with the coordinator
+//     up. Stale Renew/Complete calls therefore keep mapping to
+//     ErrLeaseLost (409), never to a 500.
+//   - Lease expiry itself is never journaled: a claim record over a
+//     shard the replay still sees as leased *is* the expiry, and replay
+//     counts the release exactly where the live path did.
+//   - Tokens are journaled verbatim, and fresh tokens carry the state
+//     dir's open count (epoch), so a token issued by a crashed
+//     incarnation can never collide with one issued after recovery even
+//     if unsynced claim records were lost to a machine crash.
+//   - A crash after the last Complete but before its merge record is
+//     repaired at open: shard cells are durable, the merge is a pure
+//     function of them, so recovery just re-merges (byte-identical by
+//     the MergeFigure contract).
+//
+// The restart-equivalence property test (recovery_test.go) checks all
+// of this mechanically at every journal prefix.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Open returns a Coordinator, recovering any durable state when
+// cfg.StateDir is set (the directory is created if missing). With an
+// empty StateDir the coordinator is purely in-memory and Open never
+// fails; New is the must-succeed wrapper for that case.
+func Open(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{cfg: cfg, jobs: make(map[string]*job), byKey: make(map[string]string)}
+	if cfg.StateDir == "" {
+		return c, nil
+	}
+	if err := c.recover(); err != nil {
+		return nil, fmt.Errorf("coord: opening state dir %s: %w", cfg.StateDir, err)
+	}
+	return c, nil
+}
+
+// recover loads the snapshot, replays the journal tail, repairs any
+// missing merge, and marks the new epoch. Runs before the Coordinator
+// is published, so no locking is needed.
+func (c *Coordinator) recover() error {
+	dir := c.cfg.StateDir
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var snapLSN uint64
+	snap, err := readSnapshot(dir)
+	if err != nil {
+		return err
+	}
+	if snap != nil {
+		c.restoreSnapshot(snap)
+		snapLSN = snap.LSN
+	}
+
+	f, err := os.OpenFile(filepath.Join(dir, journalFileName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	recs, valid := decodeJournal(data)
+	if valid < len(data) {
+		// Torn or corrupt tail: truncate to the last valid record. The
+		// dropped bytes were never acknowledged as durable (they lost a
+		// race with a crash), so no committed state disappears.
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return err
+		}
+		c.stats.JournalTruncated += int64(len(data) - valid)
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return err
+	}
+
+	lsn := snapLSN
+	for i := range recs {
+		r := &recs[i]
+		if r.LSN <= snapLSN {
+			continue // the snapshot already absorbed this record
+		}
+		c.applyRecord(r)
+		lsn = r.LSN
+		c.stats.JournalReplayed++
+	}
+	c.jnl = &journal{dir: dir, f: f, lsn: lsn, lastSync: c.cfg.Now()}
+
+	// Crash between the last Complete and its merge record: cells are
+	// durable and the merge is deterministic, so finish it now.
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if j.done == len(j.shards) && !j.finished() {
+			c.mergeLocked(j)
+		}
+	}
+
+	for _, id := range c.order {
+		j := c.jobs[id]
+		if !j.finished() {
+			c.stats.JobsRecovered++
+		}
+		c.stats.ShardsRecovered += j.done
+	}
+
+	// Mark the open. The epoch bump namespaces every future lease token
+	// away from any token the dead incarnation handed out.
+	c.epoch++
+	if err := c.logRecord(record{Type: recOpen, Epoch: c.epoch}); err != nil {
+		f.Close()
+		return err
+	}
+	return nil
+}
+
+// applyRecord folds one journal record into the shard table — the
+// replay twin of the live Submit/Claim/Renew/Complete mutations.
+// Records that no longer make sense (unknown job, out-of-range shard,
+// completing a done shard) are skipped rather than trusted: the WAL
+// fuzz target guarantees we only see checksummed records, but replay
+// still refuses to let one bad record corrupt the table.
+func (c *Coordinator) applyRecord(r *record) {
+	if r.Seq > c.seq {
+		c.seq = r.Seq
+	}
+	switch r.Type {
+	case recOpen:
+		if r.Epoch > c.epoch {
+			c.epoch = r.Epoch
+		}
+	case recSubmit:
+		if r.Spec == nil || r.Job == "" {
+			return
+		}
+		if _, ok := c.jobs[r.Job]; ok {
+			return
+		}
+		spec := *r.Spec
+		j := &job{
+			id:     r.Job,
+			spec:   spec,
+			ttl:    time.Duration(spec.LeaseTTLMS) * time.Millisecond,
+			shards: make([]shard, spec.Shards),
+		}
+		c.jobs[j.id] = j
+		c.order = append(c.order, j.id)
+		if spec.JobKey != "" {
+			c.byKey[spec.JobKey] = j.id
+		}
+		c.stats.JobsSubmitted++
+	case recClaim:
+		j, s := c.replayShard(r)
+		if s == nil || s.state == shardDone {
+			return
+		}
+		if s.state == shardLeased {
+			// The live path expired this lease (lazily) before re-leasing;
+			// the re-claim is where replay observes and counts it.
+			j.releases++
+			c.stats.Releases++
+		}
+		s.state = shardLeased
+		s.token = r.Token
+		s.worker = r.Worker
+		s.deadline = time.Unix(0, r.Deadline)
+		s.leases++
+		c.stats.LeasesGranted++
+	case recRenew:
+		_, s := c.replayShard(r)
+		if s == nil || s.state != shardLeased || s.token != r.Token {
+			return
+		}
+		s.deadline = time.Unix(0, r.Deadline)
+		s.renewals++
+		c.stats.Renewals++
+	case recComplete:
+		j, s := c.replayShard(r)
+		if s == nil || s.state == shardDone {
+			return
+		}
+		s.state = shardDone
+		s.token = ""
+		s.cells = r.Cells
+		s.doneBy = r.Worker
+		j.done++
+		c.stats.ShardsCompleted++
+	case recDuplicate:
+		j, s := c.replayShard(r)
+		if s == nil {
+			return
+		}
+		j.duplicates++
+		c.stats.Duplicates++
+	case recMerge:
+		j, ok := c.jobs[r.Job]
+		if !ok || j.finished() {
+			return
+		}
+		j.mergeDur = time.Duration(r.MergeNS)
+		c.recordMergeOutcome(j, r.Dat, r.Failed)
+	}
+}
+
+// replayShard resolves a record's (job, shard) pair, nil on anything
+// out of range.
+func (c *Coordinator) replayShard(r *record) (*job, *shard) {
+	j, ok := c.jobs[r.Job]
+	if !ok || r.Shard < 0 || r.Shard >= len(j.shards) {
+		return nil, nil
+	}
+	return j, &j.shards[r.Shard]
+}
+
+// recordMergeOutcome applies a merge result (live or replayed) to the
+// job and the lifetime counters.
+func (c *Coordinator) recordMergeOutcome(j *job, dat []byte, failed string) {
+	if failed != "" {
+		j.failed = failed
+		c.stats.JobsFailed++
+		return
+	}
+	j.dat = dat
+	j.merged = true
+	c.stats.JobsDone++
+	c.stats.Merges++
+	ms := j.mergeDur.Seconds() * 1e3
+	c.stats.LastMergeMS = ms
+	if ms > c.stats.MaxMergeMS {
+		c.stats.MaxMergeMS = ms
+	}
+}
+
+// mergeLocked runs a job's final merge inline (recovery path: nothing
+// is serving yet, so holding everything is fine), records the outcome
+// and journals it.
+func (c *Coordinator) mergeLocked(j *job) {
+	parts := make([][]byte, len(j.shards))
+	for i := range j.shards {
+		parts[i] = j.shards[i].cells
+	}
+	start := c.cfg.Now()
+	dat, err := mergeParts(j.spec, parts)
+	j.mergeDur = c.cfg.Now().Sub(start)
+	failed := ""
+	if err != nil {
+		failed = err.Error()
+	}
+	c.recordMergeOutcome(j, dat, failed)
+	// Journal append failures here are swallowed: the in-memory result
+	// is correct, completes are durable, and the next open re-merges.
+	_ = c.logRecord(record{Type: recMerge, Job: j.id, Dat: dat, Failed: failed, MergeNS: int64(j.mergeDur)})
+}
+
+// restoreSnapshot rebuilds the coordinator from a snapshot document.
+func (c *Coordinator) restoreSnapshot(doc *snapshotDoc) {
+	c.seq = doc.Seq
+	c.epoch = doc.Epoch
+	c.stats = doc.Stats
+	for i := range doc.Jobs {
+		js := &doc.Jobs[i]
+		j := &job{
+			id:         js.ID,
+			spec:       js.Spec,
+			ttl:        time.Duration(js.Spec.LeaseTTLMS) * time.Millisecond,
+			shards:     make([]shard, len(js.Shards)),
+			done:       js.Done,
+			merged:     js.Merged,
+			dat:        js.Dat,
+			failed:     js.Failed,
+			mergeDur:   time.Duration(js.MergeNS),
+			releases:   js.Releases,
+			duplicates: js.Duplicates,
+		}
+		for k := range js.Shards {
+			ss := &js.Shards[k]
+			s := &j.shards[k]
+			switch ss.State {
+			case "leased":
+				s.state = shardLeased
+			case "done":
+				s.state = shardDone
+			default:
+				s.state = shardPending
+			}
+			s.token = ss.Token
+			s.worker = ss.Worker
+			if ss.Deadline != 0 {
+				s.deadline = time.Unix(0, ss.Deadline)
+			}
+			s.leases = ss.Leases
+			s.renewals = ss.Renewals
+			s.cells = ss.Cells
+			s.doneBy = ss.DoneBy
+		}
+		c.jobs[j.id] = j
+		c.order = append(c.order, j.id)
+		if js.Spec.JobKey != "" {
+			c.byKey[js.Spec.JobKey] = j.id
+		}
+	}
+}
+
+// snapshotDocLocked serializes the full coordinator state. Called
+// under mu. Process-local persistence counters are zeroed in the doc:
+// they describe this incarnation, not the durable history.
+func (c *Coordinator) snapshotDocLocked() *snapshotDoc {
+	doc := &snapshotDoc{
+		Version: snapshotVersion,
+		Epoch:   c.epoch,
+		Seq:     c.seq,
+		Stats:   c.stats.durable(),
+	}
+	if c.jnl != nil {
+		doc.LSN = c.jnl.lsn
+	}
+	for _, id := range c.order {
+		j := c.jobs[id]
+		js := jobSnap{
+			ID:         j.id,
+			Spec:       j.spec,
+			Done:       j.done,
+			Merged:     j.merged,
+			Dat:        j.dat,
+			Failed:     j.failed,
+			MergeNS:    int64(j.mergeDur),
+			Releases:   j.releases,
+			Duplicates: j.duplicates,
+			Shards:     make([]shardSnap, len(j.shards)),
+		}
+		for i := range j.shards {
+			s := &j.shards[i]
+			ss := &js.Shards[i]
+			ss.State = s.state.String()
+			ss.Token = s.token
+			ss.Worker = s.worker
+			if !s.deadline.IsZero() {
+				ss.Deadline = s.deadline.UnixNano()
+			}
+			ss.Leases = s.leases
+			ss.Renewals = s.renewals
+			ss.Cells = s.cells
+			ss.DoneBy = s.doneBy
+		}
+		doc.Jobs = append(doc.Jobs, js)
+	}
+	return doc
+}
+
+// snapshotLocked writes a snapshot and truncates the journal it
+// absorbs. Called under mu.
+func (c *Coordinator) snapshotLocked() error {
+	if c.jnl == nil || c.jnl.closed {
+		return nil
+	}
+	// The snapshot must cover everything the journal holds, including
+	// batched appends that have not hit the disk yet — sync first so a
+	// crash right after the truncate cannot lose them.
+	if err := c.jnl.sync(c.cfg.Now()); err != nil {
+		return err
+	}
+	if err := writeSnapshot(c.jnl.dir, c.snapshotDocLocked()); err != nil {
+		return err
+	}
+	if err := c.jnl.reset(); err != nil {
+		return err
+	}
+	c.stats.Snapshots++
+	return nil
+}
+
+// maybeSnapshotLocked snapshots when enough journal appends piled up
+// since the last one. Failures are ignored: the journal remains the
+// authority and simply keeps growing until a snapshot succeeds.
+func (c *Coordinator) maybeSnapshotLocked() {
+	if c.jnl == nil || c.jnl.closed || c.jnl.appends < c.cfg.SnapshotEvery {
+		return
+	}
+	_ = c.snapshotLocked()
+}
+
+// Close flushes and seals the coordinator's durable state: batched
+// journal appends are fsynced and a final snapshot is written, so the
+// next Open recovers from the snapshot alone. In-memory coordinators
+// Close as a no-op. Safe to call more than once; operations arriving
+// after Close fail with ErrJournal.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.jnl == nil || c.jnl.closed {
+		return nil
+	}
+	err := c.snapshotLocked()
+	if err != nil {
+		// Snapshot failed; the synced journal (if the sync half worked)
+		// still recovers everything.
+		_ = c.jnl.sync(c.cfg.Now())
+	}
+	if cerr := c.jnl.f.Close(); err == nil {
+		err = cerr
+	}
+	c.jnl.closed = true
+	return err
+}
+
+// logRecord appends one record to the journal; a no-op for in-memory
+// coordinators. Called under mu. Errors wrap ErrJournal (the HTTP
+// layer maps it to 500): the mutation the record describes must not
+// proceed, or replay would diverge from the history a client observed.
+func (c *Coordinator) logRecord(r record) error {
+	if c.jnl == nil {
+		return nil
+	}
+	n, synced, err := c.jnl.append(&r, c.cfg.SyncInterval, c.cfg.Now())
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	c.stats.JournalAppends++
+	c.stats.JournalBytes += int64(n)
+	if synced {
+		c.stats.JournalSyncs++
+	}
+	return nil
+}

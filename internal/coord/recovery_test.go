@@ -1,0 +1,676 @@
+package coord
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// openDurable opens a durable coordinator on dir with the injected
+// clock and test-friendly defaults.
+func openDurable(t *testing.T, dir string, clk *fakeClock, mut func(*Config)) *Coordinator {
+	t.Helper()
+	cfg := Config{
+		DefaultLeaseTTL: 10 * time.Second,
+		Now:             clk.Now,
+		StateDir:        dir,
+		SnapshotEvery:   1 << 30, // no automatic snapshots unless the test asks
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return c
+}
+
+// cellsCache memoizes shard artifacts per (count, index): every test
+// job here is testJob, so shard results are shared across crash points.
+var cellsCache = map[[2]int][]byte{}
+
+func cachedCells(t *testing.T, l *Lease) []byte {
+	t.Helper()
+	key := [2]int{l.Shards, l.Shard}
+	if b, ok := cellsCache[key]; ok {
+		return b
+	}
+	b := shardBytes(t, l)
+	cellsCache[key] = b
+	return b
+}
+
+// captureState serializes a coordinator's full state the way a
+// snapshot would, normalized for restart-equivalence comparison:
+// incarnation-local fields (LSN, epoch, process-local stats) are
+// zeroed, everything semantic (shard states, tokens, deadlines,
+// counters, results) is kept verbatim.
+func captureState(t *testing.T, c *Coordinator) []byte {
+	t.Helper()
+	c.mu.Lock()
+	doc := c.snapshotDocLocked()
+	c.mu.Unlock()
+	doc.LSN = 0
+	doc.Epoch = 0
+	out, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		t.Fatalf("marshal capture: %v", err)
+	}
+	return out
+}
+
+// observeExpiry folds pending lease expiries into both sides of a
+// comparison: expiry is lazy and never journaled, so live and
+// recovered coordinators are compared after both observe the clock.
+func observeExpiry(t *testing.T, c *Coordinator, jobIDs []string) {
+	t.Helper()
+	for _, id := range jobIDs {
+		if _, err := c.Progress(id); err != nil {
+			t.Fatalf("Progress(%s): %v", id, err)
+		}
+	}
+}
+
+// TestReopenRestoresState: clean shutdown, reopen, the job continues —
+// leases survive with their tokens, done shards stay done, and the
+// finished merge matches the unsharded golden byte-for-byte.
+func TestReopenRestoresState(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	c1 := openDurable(t, dir, clk, nil)
+
+	id, err := c1.Submit(testJob(3))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	l0, err := c1.Claim(id, "w1")
+	if err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if err := c1.Complete(id, l0.Shard, l0.Token, "w1", cachedCells(t, l0)); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	l1, err := c1.Claim(id, "w2")
+	if err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFileName)); err != nil {
+		t.Fatalf("Close left no snapshot: %v", err)
+	}
+
+	c2 := openDurable(t, dir, clk, nil)
+	st := c2.StatsSnapshot()
+	if st.JobsRecovered != 1 || st.ShardsRecovered != 1 {
+		t.Fatalf("recovered jobs=%d shards=%d, want 1 and 1", st.JobsRecovered, st.ShardsRecovered)
+	}
+	p, err := c2.Progress(id)
+	if err != nil {
+		t.Fatalf("Progress after reopen: %v", err)
+	}
+	if p.Done != 1 || p.Shards[l1.Shard].State != "leased" {
+		t.Fatalf("recovered progress: done=%d shard %d state=%s", p.Done, l1.Shard, p.Shards[l1.Shard].State)
+	}
+	// The surviving worker's lease (not expired) completes against the
+	// recovered coordinator with its pre-restart token.
+	if err := c2.Complete(id, l1.Shard, l1.Token, "w2", cachedCells(t, l1)); err != nil {
+		t.Fatalf("Complete with pre-restart token: %v", err)
+	}
+	l2, err := c2.Claim(id, "w3")
+	if err != nil {
+		t.Fatalf("Claim after reopen: %v", err)
+	}
+	if err := c2.Complete(id, l2.Shard, l2.Token, "w3", cachedCells(t, l2)); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	dat, err := c2.Result(id)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if string(dat) != goldenDat(t) {
+		t.Fatal("recovered merge differs from unsharded golden")
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestRecoveredStaleLeaseSemantics: a lease that expired while the
+// coordinator was down behaves exactly like one that expired live —
+// it is re-offered on the next claim, and the dead incarnation's token
+// then maps to ErrLeaseLost (409), never a 500.
+func TestRecoveredStaleLeaseSemantics(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	c1 := openDurable(t, dir, clk, nil)
+	id, err := c1.Submit(testJob(2))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	stale, err := c1.Claim(id, "w1")
+	if err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	// Crash: no Close, the journal tail is all there is.
+	clk.Advance(11 * time.Second) // past the 10s TTL while "down"
+
+	c2 := openDurable(t, dir, clk, nil)
+	// Lazy expiry: recovery restored the lease as leased; the next
+	// claim observes the deadline, releases it and re-leases.
+	fresh, err := c2.Claim(id, "w2")
+	if err != nil {
+		t.Fatalf("Claim after recovery: %v", err)
+	}
+	if fresh.Shard != stale.Shard {
+		t.Fatalf("expired shard %d not re-offered first, got %d", stale.Shard, fresh.Shard)
+	}
+	if fresh.Token == stale.Token {
+		t.Fatal("re-issued lease reuses the dead incarnation's token")
+	}
+	p, err := c2.Progress(id)
+	if err != nil {
+		t.Fatalf("Progress: %v", err)
+	}
+	if p.Releases != 1 {
+		t.Fatalf("releases = %d, want 1", p.Releases)
+	}
+	if _, err := c2.Renew(id, stale.Shard, stale.Token); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale Renew: got %v, want ErrLeaseLost", err)
+	}
+	if err := c2.Complete(id, stale.Shard, stale.Token, "w1", cachedCells(t, stale)); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale Complete: got %v, want ErrLeaseLost", err)
+	}
+}
+
+// TestRecoveryRepairsMissingMerge: every shard's complete record is
+// durable but the crash beat the merge record to disk — recovery
+// re-merges from the cells and the result is byte-identical.
+func TestRecoveryRepairsMissingMerge(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	c1 := openDurable(t, dir, clk, nil)
+	id, err := c1.Submit(testJob(2))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		l, err := c1.Claim(id, "w")
+		if err != nil {
+			t.Fatalf("Claim: %v", err)
+		}
+		if err := c1.Complete(id, l.Shard, l.Token, "w", cachedCells(t, l)); err != nil {
+			t.Fatalf("Complete: %v", err)
+		}
+	}
+	// Simulate the crash window: drop the trailing merge record from
+	// the journal (no Close — the snapshot would absorb everything).
+	path := filepath.Join(dir, journalFileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	recs, _ := decodeJournal(data)
+	if recs[len(recs)-1].Type != recMerge {
+		t.Fatalf("last record is %q, want merge", recs[len(recs)-1].Type)
+	}
+	var truncated []byte
+	for i := range recs[:len(recs)-1] {
+		payload, _ := json.Marshal(&recs[i])
+		truncated = frameRecord(truncated, payload)
+	}
+	if err := os.WriteFile(path, truncated, 0o644); err != nil {
+		t.Fatalf("rewrite journal: %v", err)
+	}
+
+	c2 := openDurable(t, dir, clk, nil)
+	dat, err := c2.Result(id)
+	if err != nil {
+		t.Fatalf("Result after repair: %v", err)
+	}
+	if string(dat) != goldenDat(t) {
+		t.Fatal("repaired merge differs from unsharded golden")
+	}
+}
+
+// TestSnapshotRotation: after SnapshotEvery appends the journal is
+// absorbed into snapshot.json and truncated, and a coordinator
+// recovered from snapshot+tail is intact.
+func TestSnapshotRotation(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	c1 := openDurable(t, dir, clk, func(cfg *Config) { cfg.SnapshotEvery = 4 })
+	id, err := c1.Submit(testJob(3))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		l, err := c1.Claim(id, "w")
+		if err != nil {
+			t.Fatalf("Claim: %v", err)
+		}
+		if err := c1.Complete(id, l.Shard, l.Token, "w", cachedCells(t, l)); err != nil {
+			t.Fatalf("Complete: %v", err)
+		}
+	}
+	st := c1.StatsSnapshot()
+	if st.Snapshots == 0 {
+		t.Fatalf("no snapshot after %d appends", st.JournalAppends)
+	}
+	if fi, err := os.Stat(filepath.Join(dir, journalFileName)); err != nil {
+		t.Fatalf("stat journal: %v", err)
+	} else if fi.Size() > 1<<12 {
+		t.Fatalf("journal not truncated by snapshot: %d bytes", fi.Size())
+	}
+
+	c2 := openDurable(t, dir, clk, nil)
+	p, err := c2.Progress(id)
+	if err != nil {
+		t.Fatalf("Progress: %v", err)
+	}
+	if p.Done != 2 {
+		t.Fatalf("recovered done=%d, want 2", p.Done)
+	}
+	l, err := c2.Claim(id, "w")
+	if err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	if err := c2.Complete(id, l.Shard, l.Token, "w", cachedCells(t, l)); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	dat, err := c2.Result(id)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	if string(dat) != goldenDat(t) {
+		t.Fatal("merge after snapshot recovery differs from golden")
+	}
+}
+
+// TestSubmitIdempotent: the same job key answers with the same job,
+// in-process and across a restart.
+func TestSubmitIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	c1 := openDurable(t, dir, clk, nil)
+	spec := testJob(2)
+	spec.JobKey = "ck-test-idempotent"
+	id, err := c1.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	again, err := c1.Submit(spec)
+	if err != nil {
+		t.Fatalf("repeat Submit: %v", err)
+	}
+	if again != id {
+		t.Fatalf("repeat Submit made a new job: %s vs %s", again, id)
+	}
+	st := c1.StatsSnapshot()
+	if st.JobsSubmitted != 1 || st.SubmitsDeduped != 1 {
+		t.Fatalf("submitted=%d deduped=%d, want 1 and 1", st.JobsSubmitted, st.SubmitsDeduped)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// The key table is durable: a post-restart retry still dedupes.
+	c2 := openDurable(t, dir, clk, nil)
+	after, err := c2.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit after reopen: %v", err)
+	}
+	if after != id {
+		t.Fatalf("post-restart Submit made a new job: %s vs %s", after, id)
+	}
+	if st := c2.StatsSnapshot(); st.JobsSubmitted != 1 {
+		t.Fatalf("jobs_submitted=%d after restart dedup, want 1", st.JobsSubmitted)
+	}
+
+	long := testJob(2)
+	long.JobKey = string(bytes.Repeat([]byte("k"), maxJobKeyLen+1))
+	if _, err := c2.Submit(long); err == nil {
+		t.Fatal("oversized job_key accepted")
+	}
+}
+
+// propOp drives one random operation against the live coordinator and
+// reports whether it mutated state (and thus appended records).
+type propState struct {
+	rng    *rand.Rand
+	jobIDs []string
+	leases []*Lease // leases "workers" currently hold (may be stale)
+}
+
+func (ps *propState) step(t *testing.T, c *Coordinator, clk *fakeClock) {
+	t.Helper()
+	switch ps.rng.Intn(12) {
+	case 0, 1:
+		// Keep up to two jobs running; submit a fresh one as they finish.
+		running := 0
+		for _, id := range ps.jobIDs {
+			if p, err := c.Progress(id); err == nil && p.State == "running" {
+				running++
+			}
+		}
+		if running < 2 {
+			spec := testJob(2 + ps.rng.Intn(2)) // 2 or 3 shards
+			id, err := c.Submit(spec)
+			if err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+			ps.jobIDs = append(ps.jobIDs, id)
+		}
+	case 2, 3, 4:
+		if len(ps.jobIDs) == 0 {
+			return
+		}
+		target := "" // any-job claim
+		if ps.rng.Intn(2) == 0 {
+			target = ps.jobIDs[ps.rng.Intn(len(ps.jobIDs))]
+		}
+		l, err := c.Claim(target, "w"+string(rune('a'+ps.rng.Intn(3))))
+		switch {
+		case errors.Is(err, ErrNoWork), errors.Is(err, ErrJobDone):
+			return
+		case err != nil:
+			t.Fatalf("Claim: %v", err)
+		}
+		ps.leases = append(ps.leases, l)
+	case 5:
+		if len(ps.leases) == 0 {
+			return
+		}
+		l := ps.leases[ps.rng.Intn(len(ps.leases))]
+		// May be stale (expired and re-leased, or completed): both
+		// outcomes are part of the property.
+		if _, err := c.Renew(l.Job, l.Shard, l.Token); err != nil && !errors.Is(err, ErrLeaseLost) {
+			t.Fatalf("Renew: %v", err)
+		}
+	case 6, 7, 8:
+		if len(ps.leases) == 0 {
+			return
+		}
+		i := ps.rng.Intn(len(ps.leases))
+		l := ps.leases[i]
+		ps.leases = append(ps.leases[:i], ps.leases[i+1:]...)
+		err := c.Complete(l.Job, l.Shard, l.Token, "w", cachedCells(t, l))
+		if err != nil && !errors.Is(err, ErrLeaseLost) && !errors.Is(err, ErrDuplicate) {
+			t.Fatalf("Complete: %v", err)
+		}
+	case 9:
+		if len(ps.leases) == 0 {
+			return
+		}
+		// Double-complete a lease without forgetting it: exercises the
+		// duplicate path deterministically.
+		l := ps.leases[ps.rng.Intn(len(ps.leases))]
+		err := c.Complete(l.Job, l.Shard, l.Token, "w-dup", cachedCells(t, l))
+		if err != nil && !errors.Is(err, ErrLeaseLost) && !errors.Is(err, ErrDuplicate) {
+			t.Fatalf("duplicate Complete: %v", err)
+		}
+	case 10, 11:
+		clk.Advance(time.Duration(1+ps.rng.Intn(8)) * time.Second)
+	}
+}
+
+// journalFrameEnds returns the end offset of every frame in data.
+func journalFrameEnds(t *testing.T, data []byte) []int {
+	t.Helper()
+	recs, valid := decodeJournal(data)
+	if valid != len(data) {
+		t.Fatalf("live journal has an invalid tail: %d of %d bytes valid", valid, len(data))
+	}
+	ends := make([]int, 0, len(recs))
+	off := 0
+	for off < valid {
+		n := int(uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+		off += 8 + n
+		ends = append(ends, off)
+	}
+	return ends
+}
+
+// boundary is the expected post-recovery state for a crash point: the
+// live coordinator's captured state, the clock it was captured at, and
+// how many journal records existed then.
+type boundary struct {
+	cum     int
+	clock   time.Time
+	capture []byte
+}
+
+// expectedFor maps a crash after k valid records onto a boundary. A k
+// strictly between two boundaries is a mid-operation crash — only the
+// final complete+merge pair spans two records — and recovery's merge
+// repair lands it on the operation's post-state.
+func expectedFor(bounds []boundary, k int) boundary {
+	i := len(bounds) - 1
+	for i > 0 && bounds[i].cum > k {
+		i--
+	}
+	if bounds[i].cum == k || i == len(bounds)-1 {
+		return bounds[i]
+	}
+	if bounds[i].cum < k {
+		return bounds[i+1] // mid-op: the op's records are partially durable
+	}
+	return bounds[i] // k below the first boundary: initial state
+}
+
+// recoverPrefix writes journal bytes (and optionally snapshot bytes)
+// into a fresh dir and opens a coordinator on it at the given clock.
+func recoverPrefix(t *testing.T, journal, snapshot []byte, at time.Time) *Coordinator {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, journalFileName), journal, 0o644); err != nil {
+		t.Fatalf("write journal prefix: %v", err)
+	}
+	if snapshot != nil {
+		if err := os.WriteFile(filepath.Join(dir, snapshotFileName), snapshot, 0o644); err != nil {
+			t.Fatalf("write snapshot: %v", err)
+		}
+	}
+	clk := &fakeClock{now: at}
+	return openDurable(t, dir, clk, nil)
+}
+
+// driveToGolden claims and completes every remaining shard of every
+// job on a recovered coordinator (advancing its injected clock past
+// recovered lease deadlines) and asserts each merged result is
+// byte-identical to the unsharded golden.
+func driveToGolden(t *testing.T, c *Coordinator, jobIDs []string, golden string) {
+	t.Helper()
+	clk := &fakeClock{now: c.cfg.Now()}
+	c.cfg.Now = clk.Now
+	for iter := 0; ; iter++ {
+		if iter > 1000 {
+			t.Fatal("driveToGolden: no progress after 1000 iterations")
+		}
+		l, err := c.Claim("", "finisher")
+		if errors.Is(err, ErrNoWork) {
+			running := false
+			for _, id := range jobIDs {
+				p, perr := c.Progress(id)
+				if perr != nil {
+					t.Fatalf("Progress: %v", perr)
+				}
+				if p.State == "running" {
+					running = true
+				}
+			}
+			if !running {
+				break
+			}
+			clk.Advance(time.Minute) // expire recovered leases
+			continue
+		}
+		if err != nil {
+			t.Fatalf("Claim: %v", err)
+		}
+		err = c.Complete(l.Job, l.Shard, l.Token, "finisher", cachedCells(t, l))
+		if err != nil && !errors.Is(err, ErrDuplicate) {
+			t.Fatalf("Complete: %v", err)
+		}
+	}
+	for _, id := range jobIDs {
+		dat, err := c.Result(id)
+		if err != nil {
+			t.Fatalf("Result(%s): %v", id, err)
+		}
+		if string(dat) != golden {
+			t.Fatalf("job %s: recovered merge differs from unsharded golden", id)
+		}
+	}
+}
+
+// TestRestartEquivalenceJournalPrefixes is the restart-equivalence
+// property test over the journal alone (snapshots disabled): a random
+// operation sequence runs against a live durable coordinator under an
+// injected clock, capturing the full normalized state at every
+// operation boundary; then, for every journal record prefix — plus
+// mid-frame cuts that simulate torn writes — a fresh coordinator
+// recovers from that prefix and must reproduce the captured state
+// exactly (same pending/leased/done sets, tokens, deadlines and
+// counters) once both sides observe lease expiry at the same clock.
+// A sample of crash points is then driven to completion and must merge
+// byte-identical to the unsharded golden.
+func TestRestartEquivalenceJournalPrefixes(t *testing.T) {
+	golden := goldenDat(t)
+	dir := t.TempDir()
+	clk := newFakeClock()
+	live := openDurable(t, dir, clk, nil)
+	ps := &propState{rng: rand.New(rand.NewSource(7))}
+
+	countRecords := func() int {
+		data, err := os.ReadFile(filepath.Join(dir, journalFileName))
+		if err != nil {
+			t.Fatalf("read journal: %v", err)
+		}
+		recs, valid := decodeJournal(data)
+		if valid != len(data) {
+			t.Fatalf("live journal invalid at %d of %d", valid, len(data))
+		}
+		return len(recs)
+	}
+
+	bounds := []boundary{{cum: countRecords(), clock: clk.Now(), capture: captureState(t, live)}}
+	const ops = 80
+	for i := 0; i < ops; i++ {
+		ps.step(t, live, clk)
+		observeExpiry(t, live, ps.jobIDs)
+		bounds = append(bounds, boundary{cum: countRecords(), clock: clk.Now(), capture: captureState(t, live)})
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, journalFileName))
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	ends := journalFrameEnds(t, data)
+	if len(ends) < 20 {
+		t.Fatalf("random run produced only %d journal records; property too weak", len(ends))
+	}
+
+	// Crash points: before any record, after every record, and torn
+	// mid-frame cuts (header and payload) of every record.
+	cuts := []int{0}
+	prev := 0
+	for _, e := range ends {
+		cuts = append(cuts, prev+4, prev+(e-prev)/2, e-1, e)
+		prev = e
+	}
+	checked := 0
+	for _, cut := range cuts {
+		if cut < 0 || cut > len(data) {
+			continue
+		}
+		prefix := data[:cut]
+		_, valid := decodeJournal(prefix)
+		k := 0
+		for _, e := range ends {
+			if e <= valid {
+				k++
+			}
+		}
+		want := expectedFor(bounds, k)
+		rec := recoverPrefix(t, prefix, nil, want.clock)
+		observeExpiry(t, rec, ps.jobIDs[:jobsIn(want.capture)])
+		got := captureState(t, rec)
+		if !bytes.Equal(got, want.capture) {
+			t.Fatalf("crash at byte %d (record prefix %d): recovered state differs\n--- recovered ---\n%s\n--- live capture ---\n%s",
+				cut, k, got, want.capture)
+		}
+		// Every 7th crash point also proves end-to-end progress: the
+		// recovered coordinator finishes its jobs byte-identical to the
+		// unsharded run.
+		if checked%7 == 0 {
+			driveToGolden(t, rec, ps.jobIDs[:jobsIn(want.capture)], golden)
+		}
+		checked++
+	}
+	if checked < 4*len(ends) {
+		t.Fatalf("only %d crash points checked for %d records", checked, len(ends))
+	}
+}
+
+// jobsIn counts the jobs present in a normalized capture, so recovery
+// checks only poll jobs that existed at that crash point.
+func jobsIn(capture []byte) int {
+	var doc snapshotDoc
+	if json.Unmarshal(capture, &doc) != nil {
+		return 0
+	}
+	return len(doc.Jobs)
+}
+
+// TestRestartEquivalenceWithSnapshots is the same property across
+// operation-boundary crashes with aggressive snapshot rotation: every
+// few appends the journal is absorbed into snapshot.json, so recovery
+// exercises the snapshot+tail path (including the dedup of records the
+// snapshot already covers, via the snapshot LSN).
+func TestRestartEquivalenceWithSnapshots(t *testing.T) {
+	golden := goldenDat(t)
+	dir := t.TempDir()
+	clk := newFakeClock()
+	live := openDurable(t, dir, clk, func(cfg *Config) { cfg.SnapshotEvery = 3 })
+	ps := &propState{rng: rand.New(rand.NewSource(11))}
+
+	readFiles := func() (journal, snapshot []byte) {
+		journal, err := os.ReadFile(filepath.Join(dir, journalFileName))
+		if err != nil {
+			t.Fatalf("read journal: %v", err)
+		}
+		snapshot, err = os.ReadFile(filepath.Join(dir, snapshotFileName))
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("read snapshot: %v", err)
+		}
+		return journal, snapshot
+	}
+
+	const ops = 60
+	for i := 0; i < ops; i++ {
+		ps.step(t, live, clk)
+		observeExpiry(t, live, ps.jobIDs)
+		want := captureState(t, live)
+		journal, snapshot := readFiles()
+		rec := recoverPrefix(t, journal, snapshot, clk.Now())
+		observeExpiry(t, rec, ps.jobIDs)
+		got := captureState(t, rec)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("op %d: snapshot+tail recovery differs\n--- recovered ---\n%s\n--- live ---\n%s", i, got, want)
+		}
+		if i%10 == 9 {
+			driveToGolden(t, rec, ps.jobIDs, golden)
+		}
+	}
+	if st := live.StatsSnapshot(); st.Snapshots == 0 {
+		t.Fatal("snapshot rotation never triggered; property too weak")
+	}
+}

@@ -19,6 +19,11 @@ type SweepJob struct {
 	// LeaseTTLMS overrides the coordinator's default lease TTL,
 	// milliseconds; capped at the coordinator's maximum.
 	LeaseTTLMS int64 `json:"lease_ttl_ms,omitempty"`
+	// JobKey is an optional idempotency key (≤ 200 bytes). Submitting
+	// the same key twice returns the first submission's job id instead
+	// of registering a second job, which makes retrying a Submit over a
+	// flaky connection safe — Client fills one in automatically.
+	JobKey string `json:"job_key,omitempty"`
 }
 
 // Lease is a granted work unit: compute Shard of Shards for the job's

@@ -73,6 +73,10 @@ type Config struct {
 	// grants workers; <= 0 means the coordinator's 30s default. Jobs may
 	// override per submission via lease_ttl_ms.
 	SweepLeaseTTL time.Duration
+	// CoordStateDir, when set, makes the sweep coordinator durable:
+	// job state is journaled + snapshotted there and recovered on the
+	// next start (see internal/coord). Empty means in-memory only.
+	CoordStateDir string
 }
 
 // maxBodyBytes bounds request bodies; an inline 2000-operator instance
@@ -115,8 +119,8 @@ type Server struct {
 	workers []workerStats
 
 	// coord schedules distributed sweep jobs (see sweep.go). It owns no
-	// goroutines — lease expiry is lazy — so Close has nothing extra to
-	// drain.
+	// goroutines — lease expiry is lazy — so Close only has to flush its
+	// durable state (final snapshot + journal fsync), never to drain.
 	coord *coord.Coordinator
 
 	// scenarios are the live churn sessions (see scenario.go). Sessions
@@ -133,9 +137,24 @@ type Server struct {
 }
 
 // New starts the worker pool and returns the ready-to-serve Server.
-// Each worker owns its arenas exclusively and warms them immediately,
-// so the first requests do not pay cold-buffer growth.
+// It panics when Config asks for a durable coordinator whose state dir
+// cannot be opened — use Open to handle that error.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open starts the worker pool and returns the ready-to-serve Server.
+// Each worker owns its arenas exclusively and warms them immediately,
+// so the first requests do not pay cold-buffer growth. When
+// Config.CoordStateDir is set, the sweep coordinator recovers any
+// journaled job state from it before the first request is served; an
+// unreadable or corrupt state dir fails the open rather than silently
+// dropping committed jobs.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
@@ -152,14 +171,21 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/verify", func(w http.ResponseWriter, r *http.Request) {
 		s.dispatch(w, r, jobVerify)
 	})
-	s.coord = coord.New(coord.Config{DefaultLeaseTTL: cfg.SweepLeaseTTL})
+	var err error
+	s.coord, err = coord.Open(coord.Config{
+		DefaultLeaseTTL: cfg.SweepLeaseTTL,
+		StateDir:        cfg.CoordStateDir,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("opening sweep coordinator state: %w", err)
+	}
 	s.registerSweep()
 	s.registerScenario()
 	s.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		go s.worker(w)
 	}
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -173,7 +199,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close drains the pool: no further requests are admitted (they get
 // 503), queued and in-flight requests finish and are answered, and
-// every worker goroutine has exited when Close returns. Safe to call
+// every worker goroutine has exited when Close returns. A durable
+// sweep coordinator then takes a final snapshot and fsyncs its
+// journal, so a clean shutdown recovers without replay. Safe to call
 // more than once.
 func (s *Server) Close() {
 	s.mu.Lock()
@@ -183,6 +211,7 @@ func (s *Server) Close() {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	_ = s.coord.Close()
 }
 
 // admission is the outcome of trying to hand a job to the pool.

@@ -76,6 +76,10 @@ func (s *Server) sweepError(w http.ResponseWriter, err error) {
 		s.clientError(w, http.StatusGone, err.Error())
 	case errors.Is(err, coord.ErrTooManyJobs):
 		s.clientError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, coord.ErrJournal):
+		// The durable coordinator could not persist the operation; the
+		// client must not believe it happened.
+		s.clientError(w, http.StatusInternalServerError, err.Error())
 	default:
 		s.clientError(w, http.StatusBadRequest, err.Error())
 	}

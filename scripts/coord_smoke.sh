@@ -3,8 +3,9 @@
 # coordinator (cmd/serve + internal/coord + cmd/sweepworker).
 #
 # Builds the real binaries, produces the unsharded golden .dat with
-# cmd/experiments, boots the daemon with short shard leases, submits a
-# 3-shard fig2a job, and runs three real worker processes:
+# cmd/experiments, boots the daemon with short shard leases and a
+# durable -coord-state-dir, submits a 3-shard fig2a job, and runs three
+# real worker processes:
 #
 #   w1  a straggler (sleeps before computing, never renews) that is
 #       kill -KILL'd mid-shard — a worker dying with a live lease,
@@ -13,10 +14,14 @@
 #   w3  a healthy worker that picks up everything, including the
 #       recovered shards.
 #
-# The job must still finish, its merged figure output must be
-# byte-identical to the unsharded single-process run, the coordinator
-# must record at least one re-lease, and SIGTERM must drain the daemon
-# and the surviving workers to clean exit 0. Run via `make coord-smoke`.
+# Then the coordinator itself is kill -KILL'd mid-sweep and a fresh
+# daemon is restarted on the same address and state dir: it must replay
+# its journal (statsz reports the recovered job), the surviving workers
+# must ride out the downtime, and the job must still finish with its
+# merged figure output byte-identical to the unsharded single-process
+# run. The coordinator must record at least one re-lease, and SIGTERM
+# must drain the daemon (final snapshot included) and the surviving
+# workers to clean exit 0. Run via `make coord-smoke`.
 set -eu
 
 GO=${GO:-go}
@@ -50,8 +55,10 @@ mkdir -p "$DIR/full"
 [ -s "$DIR/full/fig2a.dat" ] || fail "golden fig2a.dat missing"
 
 # Short leases so the killed and straggling workers' shards are
-# re-offered within the smoke's budget.
+# re-offered within the smoke's budget; the state dir makes the
+# coordinator's job state survive the kill -KILL below.
 "$DIR/serve" -addr 127.0.0.1:0 -workers 2 -sweep-lease-ttl 2s \
+    -coord-state-dir "$DIR/state" \
     -port-file "$DIR/port" 2>"$DIR/serve.log" &
 SERVE_PID=$!
 
@@ -92,6 +99,49 @@ W3_PID=$!
 sleep 1
 kill -KILL "$W1_PID" 2>/dev/null || fail "w1 already gone before the kill"
 W1_PID=
+
+# Crash the coordinator itself mid-sweep: the job cannot have finished
+# (w1's shard is orphaned, w2 is still sleeping on its 4s shard), so
+# the restarted daemon must recover a live job from the state dir.
+kill -KILL "$SERVE_PID" 2>/dev/null || fail "daemon already gone before the kill"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=
+
+# Restart on the exact same address (the workers were pointed at it)
+# and the same state dir. A few bind retries cover slow socket reclaim.
+i=0
+while :; do
+    rm -f "$DIR/port2"
+    "$DIR/serve" -addr "$ADDR" -workers 2 -sweep-lease-ttl 2s \
+        -coord-state-dir "$DIR/state" \
+        -port-file "$DIR/port2" 2>"$DIR/serve2.log" &
+    SERVE_PID=$!
+    j=0
+    while [ ! -s "$DIR/port2" ] && kill -0 "$SERVE_PID" 2>/dev/null; do
+        j=$((j + 1))
+        [ "$j" -le 100 ] || fail "restarted daemon did not publish a port within 10s"
+        sleep 0.1
+    done
+    [ -s "$DIR/port2" ] && break
+    wait "$SERVE_PID" 2>/dev/null || true
+    SERVE_PID=
+    i=$((i + 1))
+    [ "$i" -le 10 ] || {
+        cat "$DIR/serve2.log" >&2
+        fail "restarted daemon could not rebind $ADDR"
+    }
+    sleep 0.5
+done
+[ "$(head -n1 "$DIR/port2")" = "$ADDR" ] ||
+    fail "restarted daemon bound $(head -n1 "$DIR/port2"), want $ADDR"
+
+# The restart must have replayed the journal into a live job.
+curl -fsS "http://$ADDR/statsz" >"$DIR/statsz-recovery.json" ||
+    fail "GET /statsz after restart did not answer 200"
+grep -q '"jobs_recovered": 1' "$DIR/statsz-recovery.json" || {
+    cat "$DIR/statsz-recovery.json" >&2
+    fail "/statsz after restart does not report the recovered job"
+}
 
 # Poll progress until the job reports done (well past 2 lease expiries).
 i=0
@@ -146,16 +196,19 @@ for w in 2 3; do
     eval "W${w}_PID="
 done
 
-# Graceful daemon drain: SIGTERM must produce a clean exit 0.
+# Graceful daemon drain: SIGTERM must produce a clean exit 0, and the
+# drain seals the durable state into a final snapshot.
 kill -TERM "$SERVE_PID"
 STATUS=0
 wait "$SERVE_PID" || STATUS=$?
 [ "$STATUS" -eq 0 ] || {
-    cat "$DIR/serve.log" >&2
+    cat "$DIR/serve2.log" >&2
     fail "daemon exited $STATUS on SIGTERM, want 0"
 }
-grep -q "drained, exiting" "$DIR/serve.log" ||
+grep -q "drained, exiting" "$DIR/serve2.log" ||
     fail "daemon log does not record the graceful drain"
+[ -s "$DIR/state/snapshot.json" ] ||
+    fail "drain left no coordinator snapshot in the state dir"
 SERVE_PID=
 
-echo "coord-smoke: 3-shard sweep survived a killed worker and a straggler; merged output byte-identical; drained cleanly"
+echo "coord-smoke: 3-shard sweep survived a killed worker, a straggler and a killed+restarted coordinator; merged output byte-identical; drained cleanly"
